@@ -1,0 +1,57 @@
+"""Ablation — the DRAM page-mode model behind Table 2.
+
+DESIGN.md §6 claims the expensive no-hierarchy off-chip row is *caused*
+by page-mode thrash (the level-0 stencil keeps three DRAM rows alive).
+This bench ablates the mechanism: with the miss penalty neutralized
+(every access priced as a page hit), the no-hierarchy-vs-layer-0
+off-chip gap should collapse.
+"""
+
+import pytest
+
+import repro.dtse.allocation.assign as assign_module
+from repro.dtse import run_pmm
+
+
+def _offchip_gap(study):
+    """Off-chip power of no-hierarchy minus layer-0-only."""
+    none = run_pmm(
+        study.merged_program,
+        study.constraints.cycle_budget,
+        study.constraints.frame_time_s,
+        library=study.library,
+        label="no hierarchy",
+    ).report
+    layer0 = run_pmm(
+        study.hierarchy_program,
+        study.constraints.cycle_budget,
+        study.constraints.frame_time_s,
+        library=study.library,
+        label="layer 0",
+    ).report
+    return none.offchip_power_mw - layer0.offchip_power_mw
+
+
+def test_page_model_drives_the_hierarchy_gap(study, benchmark, monkeypatch):
+    with_model = _offchip_gap(study)
+
+    def ablated():
+        monkeypatch.setattr(assign_module, "PAGE_MISS_FACTOR",
+                            assign_module.PAGE_HIT_FACTOR)
+        monkeypatch.setattr(assign_module, "PAGE_MIX_FACTOR",
+                            assign_module.PAGE_HIT_FACTOR)
+        try:
+            return _offchip_gap(study)
+        finally:
+            monkeypatch.undo()
+
+    without_model = benchmark.pedantic(ablated, rounds=1, iterations=1)
+
+    print()
+    print("off-chip power gap, no-hierarchy minus layer-0:")
+    print(f"  with page-mode model:    {with_model:8.1f} mW")
+    print(f"  page penalties ablated:  {without_model:8.1f} mW")
+
+    # The hierarchy's off-chip advantage is real only with the model.
+    assert with_model > 0
+    assert without_model < with_model * 0.6

@@ -1,0 +1,39 @@
+"""Figure 1 — the stepwise refinement methodology.
+
+Regenerates the methodology tree as the exploration session actually
+walked it: every step with its evaluated alternatives, cost feedback and
+evaluation times.  The benchmarked kernel is one full feedback
+evaluation (the inner loop of the whole methodology).
+"""
+
+from repro.dtse import run_pmm
+
+
+def test_figure1_tree(study, benchmark):
+    tree = study.figure1()
+
+    benchmark.pedantic(
+        lambda: run_pmm(
+            study.hierarchy_program,
+            study.constraints.cycle_budget,
+            study.constraints.frame_time_s,
+            library=study.library,
+            label="feedback",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(tree)
+
+    for step in (
+        "Basic group structuring",
+        "Memory hierarchy",
+        "Cycle budget",
+        "Memory allocation",
+    ):
+        assert step in tree
+    assert tree.count("=>") == 4  # one decision per step
+    evaluations = study.session.evaluations
+    assert len(evaluations) >= 17  # 3 + 4 + 5 + 5 alternatives

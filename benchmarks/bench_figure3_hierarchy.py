@@ -1,0 +1,33 @@
+"""Figure 3 — the memory hierarchy for the image array.
+
+Regenerates the layer diagram from the reuse analysis: the 1M-word
+image, the row-buffer layer (yhier) and the 12-register window (ylocal)
+with their feed rates.  The benchmarked kernel is the stencil reuse
+analysis plus the two-layer hierarchy transform.
+"""
+
+from repro.dtse import apply_hierarchy, find_stencil
+
+
+def test_figure3_layers(study, benchmark):
+    def analyze_and_transform():
+        pattern = find_stencil(study.base_program, "encode_l0", "image")
+        program = apply_hierarchy(
+            study.merged_program, "encode_l0", "image",
+            use_registers=True, use_rowbuffer=True,
+        )
+        return pattern, program
+
+    pattern, program = benchmark.pedantic(
+        analyze_and_transform, rounds=3, iterations=1
+    )
+
+    text = study.figure3()
+    print()
+    print(text)
+    print("paper: image 1M -> yhier 5K (2-port) -> ylocal 12 registers")
+
+    assert pattern.window_words == 12  # the paper's 12 registers
+    assert program.group("yhier").words == 4096  # our 4-row buffer (~5K)
+    assert program.group("ylocal").words == 12
+    assert "ylocal" in text and "yhier" in text

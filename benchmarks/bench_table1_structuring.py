@@ -1,0 +1,40 @@
+"""Table 1 — basic group structuring (paper §4.3).
+
+Regenerates the paper's first cost table: {no structuring, ridge
+compacted, ridge+pyr merged} evaluated by the physical memory management
+oracle.  The benchmarked kernel is the structuring transform plus one
+full feedback evaluation of the merged alternative.
+"""
+
+from repro.costs import render_cost_table
+from repro.dtse import merge_groups, run_pmm
+from repro.explore import RMW_EXEMPT
+
+
+def test_table1_rows(study, benchmark):
+    reports = study.table1()
+
+    def evaluate_merged_alternative():
+        merged = merge_groups(
+            study.base_program, "pyr", "ridge", "pyrridge",
+            rmw_exempt=RMW_EXEMPT,
+        )
+        return run_pmm(
+            merged,
+            study.constraints.cycle_budget,
+            study.constraints.frame_time_s,
+            library=study.library,
+            label="merged",
+        ).report
+
+    benchmark.pedantic(evaluate_merged_alternative, rounds=1, iterations=1)
+
+    print()
+    print(render_cost_table(reports, "Table 1: basic group structuring"))
+    print("paper: 85.0/47.3/208.0 -> 82.2/46.1/204.6 -> 65.4/39.4/130.2")
+
+    none, compacted, merged = reports
+    assert merged.offchip_power_mw < none.offchip_power_mw
+    assert merged.total_power_mw <= min(
+        none.total_power_mw, compacted.total_power_mw
+    )

@@ -1,0 +1,40 @@
+"""Table 2 — memory hierarchy decision (paper §4.4).
+
+Regenerates the four hierarchy alternatives for the ``image`` array on
+the merged program; the benchmarked kernel is the hierarchy transform
+plus one feedback evaluation of the chosen (layer 0) alternative.
+"""
+
+from repro.costs import render_cost_table
+from repro.dtse import apply_hierarchy, run_pmm
+
+
+def test_table2_rows(study, benchmark):
+    reports = study.table2()
+
+    def evaluate_layer0_alternative():
+        program = apply_hierarchy(
+            study.merged_program, "encode_l0", "image",
+            use_registers=True, use_rowbuffer=False,
+        )
+        return run_pmm(
+            program,
+            study.constraints.cycle_budget,
+            study.constraints.frame_time_s,
+            library=study.library,
+            label="layer 0",
+        ).report
+
+    benchmark.pedantic(evaluate_layer0_alternative, rounds=1, iterations=1)
+
+    print()
+    print(render_cost_table(reports, "Table 2: memory hierarchy decision"))
+    print("paper: 65.4/39.4/130.2 | 119.0/85.8/87.4 | 67.1/41.7/98.1 | "
+          "99.7/62.7/87.4")
+
+    none, layer1, layer0, both = reports
+    assert none.offchip_power_mw == max(r.offchip_power_mw for r in reports)
+    assert layer1.onchip_area_mm2 > none.onchip_area_mm2
+    assert layer0.onchip_area_mm2 == min(
+        layer1.onchip_area_mm2, layer0.onchip_area_mm2, both.onchip_area_mm2
+    )

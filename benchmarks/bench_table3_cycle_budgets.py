@@ -1,0 +1,43 @@
+"""Table 3 — storage cycle budget distribution (paper §4.5).
+
+Regenerates the cycle-budget trade-off rows on the chosen (merged +
+layer-0) program; the benchmarked kernel is one budget distribution at
+the tightened budget.
+"""
+
+from repro.dtse.pipeline import make_cap_fn, make_weight_fn
+from repro.dtse.scbd import distribute
+
+
+def test_table3_rows(study, benchmark):
+    rows = study.table3()
+    full = study.constraints.cycle_budget
+
+    program = study.hierarchy_program
+    weight_fn = make_weight_fn(program, study.library)
+    cap_fn = make_cap_fn(program, study.library)
+
+    benchmark.pedantic(
+        lambda: distribute(program, study.chosen_budget, weight_fn, cap_fn),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print("Table 3: extra cycles for the datapath vs. cost")
+    print(f"{'extra cycles':>16}{'[%]':>8}{'area':>9}{'on-chip mW':>12}"
+          f"{'off-chip mW':>13}")
+    for extra, report in rows:
+        print(
+            f"{extra:>16,.0f}{extra / full:>8.1%}"
+            f"{report.onchip_area_mm2:>9.1f}{report.onchip_power_mw:>12.1f}"
+            f"{report.offchip_power_mw:>13.1f}"
+        )
+    print("paper extras: 86,144 (0.4%) .. 3,481,728 (17.4%) of 20 M cycles")
+
+    extras = [extra for extra, _ in rows]
+    assert extras == sorted(extras)
+    assert max(extras) / full > 0.10  # >10% of cycles can be handed back
+    # Budgets move in trip-count-sized jumps (the paper's 300k quantum).
+    jumps = [b - a for a, b in zip(extras, extras[1:]) if b > a]
+    assert all(jump >= 260_000 for jump in jumps)

@@ -1,0 +1,44 @@
+"""Table 4 — memory allocation exploration (paper §4.6).
+
+Regenerates the allocation sweep (number of on-chip memories) at the
+tightened budget; the benchmarked kernel is one fixed-count
+allocation/assignment optimization.
+"""
+
+from repro.dtse import run_pmm
+
+
+def test_table4_rows(study, benchmark):
+    rows = study.table4()
+
+    benchmark.pedantic(
+        lambda: run_pmm(
+            study.hierarchy_program,
+            study.chosen_budget,
+            study.constraints.frame_time_s,
+            library=study.library,
+            n_onchip=8,
+            label="8 memories",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print("Table 4: memory allocation exploration")
+    print(f"{'memories':>9}{'area mm2':>10}{'on-chip mW':>12}{'off-chip mW':>13}")
+    for count, report in rows:
+        print(
+            f"{count:>9}{report.onchip_area_mm2:>10.1f}"
+            f"{report.onchip_power_mw:>12.1f}{report.offchip_power_mw:>13.1f}"
+        )
+    print("paper: 4->84.0/47.7, 5->78.1/38.6, 8->65.7/29.3, "
+          "10->67.7/26.9, 14->69.5/25.1 (off-chip flat 98.1)")
+
+    powers = [report.onchip_power_mw for _, report in rows]
+    assert all(a >= b - 1e-6 for a, b in zip(powers, powers[1:]))
+    areas = [report.onchip_area_mm2 for _, report in rows]
+    lowest = areas.index(min(areas))
+    assert 0 < lowest < len(areas) - 1  # the U-shape
+    offchip = [report.offchip_power_mw for _, report in rows]
+    assert max(offchip) - min(offchip) < 1e-6

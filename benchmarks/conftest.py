@@ -1,0 +1,22 @@
+"""Benchmark fixtures: one exploration shared across all benches."""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.explore import BtpcStudy
+
+
+@pytest.fixture(scope="session")
+def study():
+    return BtpcStudy()
+
+
+@pytest.fixture(scope="session")
+def constraints(study):
+    return study.constraints

@@ -1,0 +1,13 @@
+"""Ensure the in-tree sources are importable even without installation.
+
+Offline environments may lack the ``wheel`` package needed for
+``pip install -e .``; putting ``src`` on ``sys.path`` keeps the test and
+benchmark suites runnable regardless.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

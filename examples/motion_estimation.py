@@ -1,0 +1,39 @@
+"""Memory exploration of a full-search motion estimator.
+
+A second multimedia workload (read-dominated, heavy reuse, row-hopping
+reference stream) showing the tools generalize beyond the BTPC
+demonstrator: MACP analysis, page-locality effects on the off-chip
+choice, and the benefit of putting the frames off-chip versus on-chip.
+
+Run:  python examples/motion_estimation.py
+"""
+
+from repro.apps.motion import MotionConstraints, build_motion_program
+from repro.costs import render_cost_table
+from repro.dtse import analyze_macp, run_pmm
+from repro.memlib import MemoryLibrary
+
+constraints = MotionConstraints()
+program = build_motion_program(constraints)
+print(program.summary())
+print()
+print(analyze_macp(program, constraints.cycle_budget).describe())
+print()
+
+# Two library policies: frames allowed on-chip (large macros) versus
+# frames forced off-chip (cheap area, DRAM power, page behaviour).
+reports = []
+for label, threshold in [("frames on-chip", 65536), ("frames off-chip", 16384)]:
+    library = MemoryLibrary(offchip_word_threshold=threshold)
+    result = run_pmm(
+        program,
+        constraints.cycle_budget,
+        constraints.frame_time_s,
+        library=library,
+        label=label,
+    )
+    reports.append(result.report)
+    print(result.report.describe())
+    print()
+
+print(render_cost_table(reports, "Frame placement trade-off"))

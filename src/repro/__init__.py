@@ -1,0 +1,31 @@
+"""Reproduction of "Global Multimedia System Design Exploration using
+Accurate Memory Organization Feedback" (Vandecappelle et al., DAC 1999).
+
+Subpackages::
+
+    repro.ir        application specification IR (arrays, basic groups,
+                    loop nests, accesses, pruning)
+    repro.memlib    memory technology library (SRAM generator, EDO DRAM)
+    repro.costs     cost reports (area / power feedback)
+    repro.profiling instrumented arrays and access counters
+    repro.dtse      the physical memory management tools: MACP, storage
+                    cycle budget distribution, allocation/assignment,
+                    structuring and hierarchy transforms
+    repro.explore   the system-level feedback methodology driver
+    repro.apps      demonstrators: the BTPC codec and motion estimation
+"""
+
+from . import apps, costs, dtse, explore, ir, memlib, profiling
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "apps",
+    "costs",
+    "dtse",
+    "explore",
+    "ir",
+    "memlib",
+    "profiling",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Demonstrator applications."""
+
+from . import btpc, motion
+
+__all__ = ["btpc", "motion"]

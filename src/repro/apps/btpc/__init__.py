@@ -1,0 +1,42 @@
+"""The BTPC demonstrator application (paper §3).
+
+Public names::
+
+    BtpcEncoder, BtpcDecoder, CodecConfig, EncodeResult  -- the codec
+    AdaptiveHuffman                                       -- FGK coder
+    BitReader, BitWriter                                  -- bit I/O
+    BtpcConstraints                                       -- design goals
+    profile_btpc, BtpcProfile                             -- profiling
+    build_btpc_program                                    -- the pruned spec
+    images                                                -- test inputs
+"""
+
+from . import images
+from .bitio import BitReader, BitWriter
+from .codec import BtpcDecoder, BtpcEncoder, CodecConfig, EncodeResult
+from .constraints import BtpcConstraints
+from .huffman import AdaptiveHuffman
+from .spec import (
+    BtpcProfile,
+    build_btpc_program,
+    profile_btpc,
+    upper_detail_count,
+    upper_pyramid_words,
+)
+
+__all__ = [
+    "AdaptiveHuffman",
+    "BitReader",
+    "BitWriter",
+    "BtpcConstraints",
+    "BtpcDecoder",
+    "BtpcEncoder",
+    "BtpcProfile",
+    "CodecConfig",
+    "EncodeResult",
+    "build_btpc_program",
+    "images",
+    "profile_btpc",
+    "upper_detail_count",
+    "upper_pyramid_words",
+]

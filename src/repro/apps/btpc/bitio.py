@@ -1,0 +1,61 @@
+"""Bit-level I/O for the BTPC entropy coder."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+class BitWriter:
+    """Accumulates bits most-significant-first into a byte stream."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._current = 0
+        self._filled = 0
+        self.bits_written = 0
+
+    def write_bit(self, bit: int) -> None:
+        self._current = (self._current << 1) | (bit & 1)
+        self._filled += 1
+        self.bits_written += 1
+        if self._filled == 8:
+            self._bytes.append(self._current)
+            self._current = 0
+            self._filled = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Write ``count`` bits of ``value``, most significant first."""
+        if count < 0:
+            raise ValueError("bit count must be non-negative")
+        for shift in range(count - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def getvalue(self) -> bytes:
+        """Finish the stream (zero-padding the last byte)."""
+        result = bytearray(self._bytes)
+        if self._filled:
+            result.append(self._current << (8 - self._filled))
+        return bytes(result)
+
+
+class BitReader:
+    """Reads bits most-significant-first from a byte stream."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+        self.bits_read = 0
+
+    def read_bit(self) -> int:
+        byte_index, bit_index = divmod(self._pos, 8)
+        if byte_index >= len(self._data):
+            raise EOFError("bit stream exhausted")
+        self._pos += 1
+        self.bits_read += 1
+        return (self._data[byte_index] >> (7 - bit_index)) & 1
+
+    def read_bits(self, count: int) -> int:
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.read_bit()
+        return value

@@ -1,0 +1,404 @@
+"""The Binary Tree Predictive Coder: encoder, decoder, profiling hooks.
+
+This is a complete, working implementation of the demonstrator
+application (lossless and lossy), written so that running it *is*
+profiling it: when constructed with an
+:class:`~repro.profiling.counters.AccessCounter`, every array the
+hardware specification cares about is tallied per phase, producing the
+access counts the memory exploration feeds on.
+
+Array roles (matching the specification in :mod:`repro.apps.btpc.spec`):
+
+* ``image`` — the full-resolution working buffer (1 M words for the
+  design-size input).  Level-0 detail pixels are predicted from *image*
+  directly, which is why the paper's memory hierarchy (Table 2) targets
+  this array: every coarse-lattice pixel is read by several neighbouring
+  predictions.
+* ``pyr`` — the upper pyramid levels (1..K) stored contiguously.
+* ``ridge`` — the 2-bit pattern classes of the upper levels, co-indexed
+  with ``pyr`` word for word (which is what makes the Table 1 merge of
+  ``ridge`` and ``pyr`` well-formed).
+* ``hweight0..5``/``htree0..5``/``hleaf`` — the six adaptive Huffman
+  coders' model state.
+* ``quant`` — the lossy quantizer LUT.
+* ``outbuf`` — the 16-bit bitstream staging buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...profiling.counters import AccessCounter
+from ...profiling.instrument import InstrumentedArray
+from .bitio import BitReader, BitWriter
+from .huffman import AdaptiveHuffman
+from .predict import (
+    NUM_CODERS,
+    RIDGE_FLAT,
+    classify,
+    coder_index,
+    predict,
+    unzigzag,
+    zigzag,
+)
+from .pyramid import detail_positions, level_shape, neighbour_offsets, num_levels
+
+#: Alphabet of zigzagged prediction errors (-255..255 -> 0..510).
+ERROR_ALPHABET = 512
+#: Output buffer word width in the specification (bits).
+OUTBUF_WIDTH = 16
+
+
+@dataclass
+class CodecConfig:
+    """Compression settings.
+
+    ``quantizer_step`` of 1 means lossless; larger steps quantize the
+    prediction errors (paper §3: "for lossy compression, the predictors
+    are quantized before Huffman coding").
+    """
+
+    quantizer_step: int = 1
+    base_size: int = 8
+
+    @property
+    def lossless(self) -> bool:
+        return self.quantizer_step == 1
+
+
+@dataclass
+class EncodeResult:
+    """Encoder output plus profiling by-products."""
+
+    payload: bytes
+    bits: int
+    pixels: int
+    phase_profiles: Dict[str, AccessCounter] = field(default_factory=dict)
+    #: phase -> symbols encoded per coder (coder-usage statistics).
+    coder_symbols: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def bits_per_pixel(self) -> float:
+        return self.bits / self.pixels
+
+    @property
+    def compression_ratio(self) -> float:
+        return (8.0 * self.pixels) / max(self.bits, 1)
+
+
+def _even_clamp(value: int, size: int) -> int:
+    """Clamp a coordinate to the even lattice inside [0, size)."""
+    if value < 0:
+        return 0
+    if value > size - 2:
+        return size - 2
+    return value
+
+
+class _Core:
+    """State shared by encoder and decoder (image, pyramid, ridge, coders)."""
+
+    def __init__(
+        self,
+        size: int,
+        config: CodecConfig,
+        counter: Optional[AccessCounter] = None,
+    ) -> None:
+        self.size = size
+        self.config = config
+        self.counter = counter
+        self.levels = num_levels(size, config.base_size)
+        self.image = self._make("image", (size, size))
+        #: Index k in 1..levels-1 -> the level-k array; slot 0 unused
+        #: because level 0 lives in ``image``.
+        self.pyr: List = [None]
+        self.ridge: List = [None]
+        for level in range(1, self.levels):
+            shape = level_shape(size, level)
+            self.pyr.append(self._make("pyr", shape))
+            self.ridge.append(self._make("ridge", shape))
+        self.coders = [self._make_coder(k) for k in range(NUM_CODERS)]
+        self._quant_lut = self._build_quant_lut()
+
+    # ------------------------------------------------------------------
+    def _make(self, name: str, shape: Tuple[int, int]):
+        if self.counter is None:
+            return np.zeros(shape, dtype=np.int32)
+        return InstrumentedArray(name, shape, self.counter)
+
+    def _make_coder(self, index: int) -> AdaptiveHuffman:
+        if self.counter is None:
+            hook = None
+        else:
+            counter = self.counter
+
+            def hook(kind: str, array: str, count: int, _index=index) -> None:
+                name = array if array == "hleaf" else f"{array}{_index}"
+                if kind == "read":
+                    counter.record_read(name, count)
+                else:
+                    counter.record_write(name, count)
+
+        return AdaptiveHuffman(ERROR_ALPHABET, name=f"coder{index}", access_hook=hook)
+
+    def _build_quant_lut(self) -> np.ndarray:
+        """Mid-tread quantizer LUT over the error range [-255, 255]."""
+        step = self.config.quantizer_step
+        errors = np.arange(-255, 256)
+        return np.round(errors / step).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def level_array(self, level: int):
+        """Level 0 is the image buffer; upper levels live in ``pyr``."""
+        return self.image if level == 0 else self.pyr[level]
+
+    def quantize(self, error: int) -> int:
+        if self.config.lossless:
+            return error
+        if self.counter is not None:
+            self.counter.record_read("quant")
+        return int(self._quant_lut[error + 255])
+
+    def dequantize(self, level: int) -> int:
+        # Dequantization is a multiply (no LUT traffic).
+        if self.config.lossless:
+            return level
+        return level * self.config.quantizer_step
+
+    # ------------------------------------------------------------------
+    def neighbours_of(self, level: int, y: int, x: int, pixel_type: int) -> List[int]:
+        """Read the coarse-lattice neighbours from the level itself."""
+        plane = self.level_array(level)
+        size = plane.shape[0]
+        values = []
+        for dy, dx in neighbour_offsets(pixel_type):
+            ny = _even_clamp(y + dy, size)
+            nx = _even_clamp(x + dx, size)
+            values.append(int(plane[ny, nx]))
+        return values
+
+    def neighbour_ridges_of(
+        self, level: int, y: int, x: int, pixel_type: int
+    ) -> List[int]:
+        """Ridge classes at the coarse neighbours (stored levels only).
+
+        Level 0 keeps no ridge plane, so its classification uses the
+        parent context alone.  For upper levels the classes sit at the
+        same indices as the pixel values just read — the access pattern
+        that makes merging ``pyr`` and ``ridge`` profitable.
+        """
+        if level == 0:
+            return []
+        plane = self.ridge[level]
+        size = plane.shape[0]
+        values = []
+        for dy, dx in neighbour_offsets(pixel_type):
+            ny = _even_clamp(y + dy, size)
+            nx = _even_clamp(x + dx, size)
+            values.append(int(plane[ny, nx]))
+        return values
+
+    def parent_ridge(self, level: int, y: int, x: int) -> int:
+        """Ridge context from the parent position one level up."""
+        parent = self.ridge[level + 1]
+        height, width = parent.shape
+        py = min(y // 2, height - 1)
+        px = min(x // 2, width - 1)
+        return int(parent[py, px])
+
+    def copy_up(self, level: int) -> None:
+        """Refresh the even lattice of ``level`` from level+1.
+
+        Both the pixel values and (for stored-ridge levels) the ridge
+        classes are propagated, so the finer level's even-lattice data is
+        the reconstructed coarse data.  Encoder and decoder both run
+        this, keeping their models bit-identical.
+        """
+        coarse_pyr = self.level_array(level + 1)
+        fine_pyr = self.level_array(level)
+        height, width = coarse_pyr.shape
+        propagate_ridge = level >= 1
+        for y in range(height):
+            for x in range(width):
+                fine_pyr[2 * y, 2 * x] = coarse_pyr[y, x]
+                if propagate_ridge:
+                    self.ridge[level][2 * y, 2 * x] = self.ridge[level + 1][y, x]
+
+    def flush_outbuf(self, bits_done: int, marker: Dict[str, int]) -> None:
+        """Account the bitstream words produced since the last call."""
+        if self.counter is None:
+            return
+        produced = bits_done - marker["bits"]
+        marker["bits"] = bits_done
+        self.counter.record_write("outbuf", produced / OUTBUF_WIDTH)
+
+
+class BtpcEncoder:
+    """BTPC encoder over square power-of-two images."""
+
+    def __init__(
+        self,
+        config: CodecConfig = CodecConfig(),
+        counter: Optional[AccessCounter] = None,
+    ) -> None:
+        self.config = config
+        self.counter = counter
+        self._phase_marks: Dict[str, AccessCounter] = {}
+
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> AccessCounter:
+        if self.counter is None:
+            return AccessCounter()
+        return AccessCounter(dict(self.counter.reads), dict(self.counter.writes))
+
+    def _close_phase(self, name: str, before: AccessCounter) -> None:
+        """Store the per-phase counter delta."""
+        if self.counter is None:
+            return
+        delta = AccessCounter()
+        for array, count in self.counter.reads.items():
+            diff = count - before.reads.get(array, 0.0)
+            if diff:
+                delta.record_read(array, diff)
+        for array, count in self.counter.writes.items():
+            diff = count - before.writes.get(array, 0.0)
+            if diff:
+                delta.record_write(array, diff)
+        existing = self._phase_marks.get(name)
+        self._phase_marks[name] = existing.merged(delta) if existing else delta
+
+    # ------------------------------------------------------------------
+    def encode(self, image: np.ndarray) -> EncodeResult:
+        """Compress ``image``; returns payload plus per-phase profiles."""
+        size = image.shape[0]
+        if image.shape[0] != image.shape[1]:
+            raise ValueError("BTPC operates on square images")
+        core = _Core(size, self.config, self.counter)
+        self._phase_marks = {}
+        writer = BitWriter()
+        out_marker = {"bits": 0}
+
+        # Phase: load the input stream into the image working buffer.
+        mark = self._snapshot()
+        for y in range(size):
+            for x in range(size):
+                core.image[y, x] = int(image[y, x])
+        self._close_phase("load", mark)
+
+        # Phase: build the upper pyramid by successive decimation.
+        mark = self._snapshot()
+        for level in range(1, core.levels):
+            previous = core.level_array(level - 1)
+            target = core.pyr[level]
+            height, width = target.shape
+            for y in range(height):
+                for x in range(width):
+                    target[y, x] = previous[2 * y, 2 * x]
+        self._close_phase("build", mark)
+
+        # Phase: base level, transmitted raw.
+        mark = self._snapshot()
+        base = core.level_array(core.levels - 1)
+        height, width = base.shape
+        for y in range(height):
+            for x in range(width):
+                writer.write_bits(int(base[y, x]) & 0xFF, 8)
+        core.flush_outbuf(writer.bits_written, out_marker)
+        self._close_phase("base", mark)
+
+        # Phases: encode details, coarsest to finest, with copy-up.
+        coder_symbols: Dict[str, List[int]] = {}
+        for level in range(core.levels - 2, -1, -1):
+            phase = "encode_l0" if level == 0 else "encode_up"
+            mark = self._snapshot()
+            core.copy_up(level)
+            usage = coder_symbols.setdefault(phase, [0] * len(core.coders))
+            self._encode_level(core, level, writer, usage)
+            core.flush_outbuf(writer.bits_written, out_marker)
+            self._close_phase(phase, mark)
+
+        payload = writer.getvalue()
+        return EncodeResult(
+            payload=payload,
+            bits=writer.bits_written,
+            pixels=size * size,
+            phase_profiles=dict(self._phase_marks),
+            coder_symbols=coder_symbols,
+        )
+
+    # ------------------------------------------------------------------
+    def _encode_level(
+        self, core: _Core, level: int, writer: BitWriter, usage: List[int]
+    ) -> None:
+        plane = core.level_array(level)
+        for y, x, pixel_type in detail_positions(plane.shape):
+            neighbours = core.neighbours_of(level, y, x, pixel_type)
+            # Level 0 stores no ridge plane: no context is available.
+            context = core.parent_ridge(level, y, x) if level >= 1 else RIDGE_FLAT
+            nb_ridges = core.neighbour_ridges_of(level, y, x, pixel_type)
+            ridge_class = classify(pixel_type, neighbours, context, nb_ridges)
+            if level >= 1:
+                core.ridge[level][y, x] = ridge_class
+            predicted = predict(pixel_type, neighbours, ridge_class)
+            actual = int(plane[y, x])
+            error = actual - predicted
+            quantized = core.quantize(error)
+            which = coder_index(pixel_type, ridge_class)
+            usage[which] += 1
+            core.coders[which].encode(zigzag(quantized), writer)
+            if not self.config.lossless:
+                reconstructed = predicted + core.dequantize(quantized)
+                plane[y, x] = max(0, min(255, reconstructed))
+
+
+class BtpcDecoder:
+    """BTPC decoder: mirrors the encoder's model evolution exactly."""
+
+    def __init__(
+        self,
+        config: CodecConfig = CodecConfig(),
+        counter: Optional[AccessCounter] = None,
+    ) -> None:
+        self.config = config
+        self.counter = counter
+
+    def decode(self, payload: bytes, size: int) -> np.ndarray:
+        """Decompress a payload produced with the same configuration."""
+        core = _Core(size, self.config, self.counter)
+        reader = BitReader(payload)
+
+        base = core.level_array(core.levels - 1)
+        height, width = base.shape
+        for y in range(height):
+            for x in range(width):
+                base[y, x] = reader.read_bits(8)
+
+        for level in range(core.levels - 2, -1, -1):
+            core.copy_up(level)
+            self._decode_level(core, level, reader)
+
+        result = core.image
+        if isinstance(result, InstrumentedArray):
+            return np.array(result.data, dtype=np.int32)
+        return np.array(result, dtype=np.int32)
+
+    def _decode_level(self, core: _Core, level: int, reader: BitReader) -> None:
+        plane = core.level_array(level)
+        for y, x, pixel_type in detail_positions(plane.shape):
+            neighbours = core.neighbours_of(level, y, x, pixel_type)
+            # Level 0 stores no ridge plane: no context is available.
+            context = core.parent_ridge(level, y, x) if level >= 1 else RIDGE_FLAT
+            nb_ridges = core.neighbour_ridges_of(level, y, x, pixel_type)
+            ridge_class = classify(pixel_type, neighbours, context, nb_ridges)
+            if level >= 1:
+                core.ridge[level][y, x] = ridge_class
+            predicted = predict(pixel_type, neighbours, ridge_class)
+            coder = core.coders[coder_index(pixel_type, ridge_class)]
+            quantized = unzigzag(coder.decode(reader))
+            value = predicted + core.dequantize(quantized)
+            if not self.config.lossless:
+                value = max(0, min(255, value))
+            plane[y, x] = value

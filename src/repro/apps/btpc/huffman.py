@@ -1,0 +1,208 @@
+"""Adaptive Huffman coding (FGK) for the BTPC entropy stage.
+
+BTPC uses six adaptive Huffman coders, selected by the neighbourhood
+pattern of the pixel being coded (paper §3).  This module implements the
+Faller-Gallager-Knuth adaptive Huffman algorithm with a
+not-yet-transmitted (NYT) escape, plus an access-hook mechanism so the
+profiler can tally the memory traffic of the tree walks (the ``htree``,
+``hweight`` and ``hleaf`` basic groups of the specification) without
+perturbing the algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .bitio import BitReader, BitWriter
+
+#: Signature: hook(kind, array, count) with kind in {"read", "write"}.
+AccessHook = Callable[[str, str, int], None]
+
+
+class _Node:
+    """One node of the FGK tree."""
+
+    __slots__ = ("weight", "parent", "left", "right", "symbol", "index")
+
+    def __init__(self, weight: int, symbol: Optional[int], index: int) -> None:
+        self.weight = weight
+        self.parent: Optional[_Node] = None
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.symbol = symbol
+        self.index = index
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class AdaptiveHuffman:
+    """One FGK adaptive Huffman coder over a fixed alphabet.
+
+    The coder starts with only the NYT node; the first occurrence of a
+    symbol is escaped through the NYT code followed by the raw symbol in
+    ``symbol_bits`` bits.  Encoder and decoder evolve identical trees, so
+    a stream encoded with a fresh coder decodes with a fresh coder.
+    """
+
+    def __init__(
+        self,
+        alphabet_size: int,
+        name: str = "huff",
+        access_hook: Optional[AccessHook] = None,
+    ) -> None:
+        if alphabet_size < 2:
+            raise ValueError("alphabet must have at least two symbols")
+        self.alphabet_size = alphabet_size
+        self.symbol_bits = (alphabet_size - 1).bit_length()
+        self.name = name
+        self._hook = access_hook
+        #: Node list in implicit-number order: index 0 is the NYT node,
+        #: the root is always last.  The FGK sibling property is that
+        #: weights are non-decreasing along this list.
+        self.nyt = _Node(0, None, 0)
+        self.root = self.nyt
+        self.nodes: List[_Node] = [self.nyt]
+        self.leaves: Dict[int, _Node] = {}
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def _touch(self, kind: str, array: str, count: int = 1) -> None:
+        if self._hook is not None and count > 0:
+            self._hook(kind, array, count)
+
+    # ------------------------------------------------------------------
+    # Coding
+    # ------------------------------------------------------------------
+    def _code_of(self, node: _Node) -> List[int]:
+        """Bits from the root to ``node`` (reads one tree word per level)."""
+        bits: List[int] = []
+        while node.parent is not None:
+            parent = node.parent
+            bits.append(0 if parent.left is node else 1)
+            self._touch("read", "htree")
+            node = parent
+        bits.reverse()
+        return bits
+
+    def encode(self, symbol: int, writer: BitWriter) -> None:
+        """Encode one symbol and update the model."""
+        if not 0 <= symbol < self.alphabet_size:
+            raise ValueError(f"symbol {symbol} outside alphabet")
+        self._touch("read", "hleaf")
+        leaf = self.leaves.get(symbol)
+        if leaf is None:
+            for bit in self._code_of(self.nyt):
+                writer.write_bit(bit)
+            writer.write_bits(symbol, self.symbol_bits)
+        else:
+            for bit in self._code_of(leaf):
+                writer.write_bit(bit)
+        self._update(symbol)
+
+    def decode(self, reader: BitReader) -> int:
+        """Decode one symbol and update the model."""
+        node = self.root
+        while not node.is_leaf:
+            self._touch("read", "htree")
+            node = node.left if reader.read_bit() == 0 else node.right
+            assert node is not None
+        if node is self.nyt:
+            symbol = reader.read_bits(self.symbol_bits)
+        else:
+            assert node.symbol is not None
+            symbol = node.symbol
+        self._update(symbol)
+        return symbol
+
+    # ------------------------------------------------------------------
+    # FGK model update
+    # ------------------------------------------------------------------
+    def _spawn(self, symbol: int) -> _Node:
+        """Split the NYT node to admit a new symbol."""
+        old_nyt = self.nyt
+        new_nyt = _Node(0, None, 0)
+        leaf = _Node(0, symbol, 1)
+        # The two new nodes take the lowest implicit numbers; every other
+        # node (including the old NYT, which becomes internal) shifts up.
+        self.nodes[:0] = [new_nyt, leaf]
+        for index, node in enumerate(self.nodes):
+            node.index = index
+        old_nyt.left = new_nyt
+        old_nyt.right = leaf
+        new_nyt.parent = old_nyt
+        leaf.parent = old_nyt
+        self.nyt = new_nyt
+        self.leaves[symbol] = leaf
+        self._touch("write", "htree", 2)
+        self._touch("write", "hleaf")
+        return leaf
+
+    def _block_leader(self, node: _Node) -> _Node:
+        """Highest-numbered node with the same weight (its block leader).
+
+        The comparisons are tallied as ``hweight_scan`` so the profiler
+        can separate side-lookup traffic from the increment chain.
+        """
+        leader = node
+        scan = node.index + 1
+        while scan < len(self.nodes) and self.nodes[scan].weight == node.weight:
+            leader = self.nodes[scan]
+            scan += 1
+        self._touch("read", "hweight_scan", scan - node.index)
+        return leader
+
+    def _swap(self, a: _Node, b: _Node) -> None:
+        """Exchange two nodes' positions in the tree and the numbering."""
+        if a.parent is None or b.parent is None:
+            raise AssertionError("cannot swap the root")
+        a_parent, b_parent = a.parent, b.parent
+        if a_parent.left is a:
+            a_parent.left = b
+        else:
+            a_parent.right = b
+        if b_parent.left is b:
+            b_parent.left = a
+        else:
+            b_parent.right = a
+        a.parent, b.parent = b_parent, a_parent
+        self.nodes[a.index], self.nodes[b.index] = b, a
+        a.index, b.index = b.index, a.index
+        self._touch("write", "htree", 2)
+
+    def _update(self, symbol: int) -> None:
+        """Re-establish the sibling property after seeing ``symbol``."""
+        node = self.leaves.get(symbol)
+        if node is None:
+            node = self._spawn(symbol)
+        while node is not None:
+            leader = self._block_leader(node)
+            if leader is not node and leader is not node.parent:
+                # After the swap ``node`` carries the leader's (higher)
+                # number, so incrementing it keeps the sibling property.
+                self._swap(node, leader)
+            node.weight += 1
+            self._touch("read", "hweight")
+            self._touch("write", "hweight")
+            node = node.parent
+
+    # ------------------------------------------------------------------
+    # Invariant check (used by the test suite)
+    # ------------------------------------------------------------------
+    def check_sibling_property(self) -> None:
+        """Raise AssertionError when the FGK invariants are violated."""
+        for left, right in zip(self.nodes, self.nodes[1:]):
+            if left.weight > right.weight:
+                raise AssertionError(
+                    f"sibling property violated: node {left.index} weight "
+                    f"{left.weight} > node {right.index} weight {right.weight}"
+                )
+        for index, node in enumerate(self.nodes):
+            if node.index != index:
+                raise AssertionError("node numbering out of sync")
+            if node.parent is not None and node.parent.index <= node.index:
+                raise AssertionError("parent numbered below child")
+        if self.nodes[-1] is not self.root:
+            raise AssertionError("root is not the highest-numbered node")

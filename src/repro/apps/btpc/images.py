@@ -1,0 +1,86 @@
+"""Synthetic test images for the BTPC demonstrator.
+
+The paper profiles the encoder on real image material; offline we
+synthesize images with the statistics that matter to BTPC: smooth
+regions (good prediction), edges (exercise the ridge classification) and
+texture (exercise the Huffman adaptation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_u8(field: np.ndarray) -> np.ndarray:
+    lo, hi = float(field.min()), float(field.max())
+    if hi - lo < 1e-9:
+        return np.zeros(field.shape, dtype=np.uint8)
+    scaled = (field - lo) / (hi - lo) * 255.0
+    return scaled.astype(np.uint8)
+
+
+def gradient(size: int) -> np.ndarray:
+    """A smooth diagonal ramp: near-perfect prediction everywhere."""
+    ys, xs = np.mgrid[0:size, 0:size]
+    return _as_u8(ys + xs)
+
+
+def edges(size: int) -> np.ndarray:
+    """Flat regions separated by sharp edges (rectangles and a disc)."""
+    img = np.full((size, size), 40, dtype=np.uint8)
+    img[size // 8 : size // 2, size // 8 : size // 2] = 200
+    img[size // 2 :, size // 3 :] = 120
+    ys, xs = np.mgrid[0:size, 0:size]
+    disc = (ys - size * 0.7) ** 2 + (xs - size * 0.25) ** 2 < (size * 0.15) ** 2
+    img[disc] = 250
+    return img
+
+
+def texture(size: int, seed: int = 0) -> np.ndarray:
+    """Band-limited noise: smoothed random field (cloth-like texture)."""
+    rng = np.random.default_rng(seed)
+    field = rng.standard_normal((size, size))
+    for _ in range(3):
+        field = (
+            field
+            + np.roll(field, 1, axis=0)
+            + np.roll(field, -1, axis=0)
+            + np.roll(field, 1, axis=1)
+            + np.roll(field, -1, axis=1)
+        ) / 5.0
+    return _as_u8(field)
+
+
+def natural_like(size: int, seed: int = 0) -> np.ndarray:
+    """A 1/f-flavoured multi-scale field: the default profiling input.
+
+    Sums white noise injected at every octave and bilinearly upsampled,
+    giving smooth large-scale structure with fine detail — close in
+    spirit to natural-image statistics.
+    """
+    rng = np.random.default_rng(seed)
+    field = np.zeros((size, size))
+    scale = size
+    amplitude = 1.0
+    while scale >= 4:
+        coarse = rng.standard_normal((scale, scale))
+        reps = size // scale
+        up = np.kron(coarse, np.ones((reps, reps)))
+        for _ in range(2):
+            up = (
+                up
+                + np.roll(up, 1, axis=0)
+                + np.roll(up, -1, axis=0)
+                + np.roll(up, 1, axis=1)
+                + np.roll(up, -1, axis=1)
+            ) / 5.0
+        field += amplitude * up
+        scale //= 2
+        amplitude *= 1.6
+    return _as_u8(field)
+
+
+def checkerboard(size: int, cell: int = 4) -> np.ndarray:
+    """Worst-case high-frequency input (poor prediction everywhere)."""
+    ys, xs = np.mgrid[0:size, 0:size]
+    return np.where(((ys // cell) + (xs // cell)) % 2 == 0, 255, 0).astype(np.uint8)

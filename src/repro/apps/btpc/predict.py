@@ -1,0 +1,105 @@
+"""Neighbourhood-pattern prediction and ridge classification.
+
+Each detail pixel is predicted from the coarse-lattice neighbours around
+it.  A 2-bit *ridge* class describes the local pattern (flat / two edge
+orientations / texture); it selects the predictor, biases the children's
+classification (the class of the parent pixel is used as context) and
+picks one of the six adaptive Huffman coders (paper §3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .pyramid import TYPE_D, TYPE_H, TYPE_V
+
+#: Ridge classes (2 bits).
+RIDGE_FLAT = 0
+RIDGE_PRIMARY = 1  # edge along the first neighbour pair
+RIDGE_SECONDARY = 2  # edge along the second neighbour pair
+RIDGE_TEXTURE = 3
+
+#: Flatness threshold, halved when the parent already saw an edge.
+_BASE_THRESHOLD = 8
+
+NUM_CODERS = 6
+
+
+def classify(
+    pixel_type: int,
+    neighbours: Sequence[int],
+    parent_ridge: int,
+    neighbour_ridges: Sequence[int] = (),
+) -> int:
+    """Derive the 2-bit ridge class from the coarse neighbours.
+
+    For diagonal (D) pixels the four neighbours form two diagonal pairs;
+    a large imbalance between the pair differences indicates an oriented
+    edge.  For H/V pixels only one pair exists, so the class degenerates
+    to flat / edge / texture.  Context (the parent's ridge class and,
+    where stored, the neighbours' classes) sharpens the edge threshold.
+    """
+    edgy = parent_ridge != RIDGE_FLAT or any(
+        ridge != RIDGE_FLAT for ridge in neighbour_ridges
+    )
+    threshold = _BASE_THRESHOLD // 2 if edgy else _BASE_THRESHOLD
+    if pixel_type == TYPE_D:
+        nw, ne, sw, se = neighbours
+        primary = abs(int(nw) - int(se))
+        secondary = abs(int(ne) - int(sw))
+        if max(primary, secondary) < threshold:
+            return RIDGE_FLAT
+        if primary * 2 < secondary:
+            return RIDGE_PRIMARY
+        if secondary * 2 < primary:
+            return RIDGE_SECONDARY
+        return RIDGE_TEXTURE
+    first, second = neighbours[0], neighbours[1]
+    difference = abs(int(first) - int(second))
+    if difference < threshold:
+        return RIDGE_FLAT
+    if difference < 4 * threshold:
+        return RIDGE_PRIMARY
+    return RIDGE_TEXTURE
+
+
+def predict(pixel_type: int, neighbours: Sequence[int], ridge_class: int) -> int:
+    """Predict a detail pixel from its coarse neighbours.
+
+    Diagonal pixels with an oriented edge average only the pair lying
+    *along* the edge; everything else averages all available neighbours.
+    """
+    values = [int(v) for v in neighbours]
+    if pixel_type == TYPE_D:
+        nw, ne, sw, se = values
+        if ridge_class == RIDGE_PRIMARY:
+            # Edge along the NW-SE diagonal: those two values differ
+            # least, so their mean is the better predictor.
+            return (nw + se) // 2
+        if ridge_class == RIDGE_SECONDARY:
+            return (ne + sw) // 2
+        return (nw + ne + sw + se) // 4
+    return (values[0] + values[1]) // 2
+
+
+def coder_index(pixel_type: int, ridge_class: int) -> int:
+    """Select one of the six adaptive Huffman coders.
+
+    H and V pixels have their own coders (their error statistics differ
+    from diagonal pixels); diagonal pixels get one coder per ridge class.
+    """
+    if pixel_type == TYPE_H:
+        return 0
+    if pixel_type == TYPE_V:
+        return 1
+    return 2 + ridge_class
+
+
+def zigzag(error: int) -> int:
+    """Map a signed prediction error to a non-negative symbol."""
+    return 2 * error if error >= 0 else -2 * error - 1
+
+
+def unzigzag(symbol: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return symbol // 2 if symbol % 2 == 0 else -(symbol + 1) // 2

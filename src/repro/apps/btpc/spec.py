@@ -1,0 +1,418 @@
+"""The pruned BTPC specification for memory exploration.
+
+This module builds the :class:`~repro.ir.program.Program` that the
+physical-memory-management tools consume — the equivalent of the paper's
+pruned C code with its 18 important arrays (basic groups).
+
+Two kinds of access counts feed the specification:
+
+* **Manifest counts** (loads, pyramid build, copy-up traffic, prediction
+  reads) follow directly from the image geometry and are computed
+  analytically — exact for the 1024x1024 design target.
+* **Data-dependent counts** (the adaptive Huffman tree walks, the
+  bitstream volume, the ridge-class mix) depend on the image content and
+  are measured by profiling the instrumented codec
+  (:mod:`repro.apps.btpc.codec`) on a smaller input, then applied as
+  per-detail-pixel rates — the profiling-based methodology of §4.1.
+
+The 18 basic groups::
+
+    image   1024x1024 x  8 bit      pyramid level 0 / working buffer
+    pyr     349,504   x  8 bit      pyramid levels 1..7
+    ridge   349,504   x  2 bit      pattern classes, co-indexed with pyr
+    hweight0..5   512 x 20 bit      FGK node weights, one per coder
+    htree0..5     512 x 10 bit      FGK tree links, one per coder
+    hleaf         512 x 10 bit      symbol -> leaf map (shared)
+    quant         512 x  8 bit      lossy quantizer LUT
+    outbuf        512 x 16 bit      bitstream staging buffer
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ...ir import Program, ProgramBuilder
+from ...profiling.counters import AccessCounter
+from .codec import BtpcEncoder, CodecConfig
+from .constraints import BtpcConstraints
+from .images import natural_like
+from .pyramid import detail_count, level_shape, num_levels
+
+HUFFMAN_ARRAYS = tuple(
+    [f"hweight{k}" for k in range(6)] + [f"htree{k}" for k in range(6)] + ["hleaf"]
+)
+
+
+# ----------------------------------------------------------------------
+# Geometry helpers (manifest, exact)
+# ----------------------------------------------------------------------
+def upper_pyramid_words(size: int, base_size: int = 8) -> int:
+    """Words in pyramid levels 1..K (the ``pyr``/``ridge`` extent)."""
+    levels = num_levels(size, base_size)
+    return sum(
+        level_shape(size, level)[0] * level_shape(size, level)[1]
+        for level in range(1, levels)
+    )
+
+
+def upper_detail_count(size: int, base_size: int = 8) -> int:
+    """Detail pixels of levels 1..K-1 (coded by ``encode_up``)."""
+    levels = num_levels(size, base_size)
+    return sum(
+        detail_count(level_shape(size, level)) for level in range(1, levels - 1)
+    )
+
+
+def upper_copyup_words(size: int, base_size: int = 8) -> int:
+    """Copy-up source words for levels 1..K-1 (reads of levels 2..K)."""
+    levels = num_levels(size, base_size)
+    return sum(
+        level_shape(size, level)[0] * level_shape(size, level)[1]
+        for level in range(2, levels)
+    )
+
+
+# ----------------------------------------------------------------------
+# Profiling
+# ----------------------------------------------------------------------
+@dataclass
+class BtpcProfile:
+    """Per-phase access profile of one instrumented encoder run."""
+
+    image_size: int
+    quantizer_step: int
+    phases: Dict[str, AccessCounter] = field(default_factory=dict)
+    #: phase -> symbols encoded per coder.
+    coder_symbols: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    bits: int = 0
+
+    def detail_pixels(self, phase: str) -> int:
+        """Detail pixels processed by an encode phase at profile size."""
+        if phase == "encode_l0":
+            return detail_count((self.image_size, self.image_size))
+        if phase == "encode_up":
+            return upper_detail_count(self.image_size)
+        raise ValueError(f"phase {phase!r} has no detail pixels")
+
+    def rate_per_detail(self, phase: str, array: str) -> Tuple[float, float]:
+        """(reads, writes) per detail pixel for a data-dependent array."""
+        counter = self.phases.get(phase)
+        if counter is None:
+            return (0.0, 0.0)
+        details = self.detail_pixels(phase)
+        return (
+            counter.read_count(array) / details,
+            counter.write_count(array) / details,
+        )
+
+    def coder_share(self, phase: str, coder: int) -> float:
+        """Fraction of detail pixels that use ``coder`` in ``phase``."""
+        usage = self.coder_symbols.get(phase)
+        if not usage:
+            return 0.0
+        return usage[coder] / self.detail_pixels(phase)
+
+    def per_use(self, phase: str, array: str, coder: int) -> Tuple[float, float]:
+        """(reads, writes) of ``array`` per *use* of ``coder``.
+
+        This is the conditional multiplicity: how long the tree walk is
+        when the coder actually fires.
+        """
+        usage = self.coder_symbols.get(phase)
+        counter = self.phases.get(phase)
+        if not usage or not usage[coder] or counter is None:
+            return (0.0, 0.0)
+        return (
+            counter.read_count(array) / usage[coder],
+            counter.write_count(array) / usage[coder],
+        )
+
+    def pooled_per_use(self, phase: str, family: str) -> Tuple[float, float]:
+        """(reads, writes) of an array family per coder use, pooled.
+
+        Pooling over the six coders (``family`` is ``"htree"``,
+        ``"hweight"`` or ``"hweight_scan"``) smooths the noisy
+        conditional statistics of rarely-used coders; the walk length
+        per symbol is a property of the shared tree discipline, not of
+        the individual coder.
+        """
+        usage = self.coder_symbols.get(phase)
+        counter = self.phases.get(phase)
+        if not usage or not counter:
+            return (0.0, 0.0)
+        symbols = sum(usage)
+        if symbols == 0:
+            return (0.0, 0.0)
+        reads = sum(counter.read_count(f"{family}{k}") for k in range(6))
+        writes = sum(counter.write_count(f"{family}{k}") for k in range(6))
+        return reads / symbols, writes / symbols
+
+
+def profile_btpc(
+    image_size: int = 128,
+    seed: int = 7,
+    quantizer_step: int = 4,
+    image: Optional[np.ndarray] = None,
+) -> BtpcProfile:
+    """Run the instrumented encoder and collect the per-phase profile."""
+    if image is None:
+        image = natural_like(image_size, seed)
+    else:
+        image_size = image.shape[0]
+    counter = AccessCounter()
+    encoder = BtpcEncoder(CodecConfig(quantizer_step=quantizer_step), counter=counter)
+    result = encoder.encode(image.astype(np.int32))
+    return BtpcProfile(
+        image_size=image_size,
+        quantizer_step=quantizer_step,
+        phases=result.phase_profiles,
+        coder_symbols={
+            phase: tuple(usage) for phase, usage in result.coder_symbols.items()
+        },
+        bits=result.bits,
+    )
+
+
+# ----------------------------------------------------------------------
+# Specification construction
+# ----------------------------------------------------------------------
+def build_btpc_program(
+    constraints: BtpcConstraints = BtpcConstraints(),
+    profile: Optional[BtpcProfile] = None,
+) -> Program:
+    """Build the pruned BTPC specification at the design target size.
+
+    Manifest traffic is derived from ``constraints.image_size``;
+    data-dependent Huffman/bitstream rates come from ``profile``
+    (a default 128x128 lossy profile is generated when omitted).
+    """
+    if profile is None:
+        profile = profile_btpc()
+    size = constraints.image_size
+    lossy = profile.quantizer_step > 1
+    pyr_words = upper_pyramid_words(size)
+    l0_details = detail_count((size, size))
+    up_details = upper_detail_count(size)
+    half = size // 2
+
+    builder = ProgramBuilder(
+        "btpc",
+        description=(
+            f"BTPC encoder, {size}x{size} input, "
+            f"{'lossy q=' + str(profile.quantizer_step) if lossy else 'lossless'}"
+        ),
+    )
+
+    # ------------------------------------------------------------------
+    # Arrays: the 18 basic groups.
+    # ------------------------------------------------------------------
+    builder.array("image", (size, size), 8, "input image / pyramid level 0")
+    builder.array("pyr", (pyr_words,), 8, "pyramid levels 1..K")
+    builder.array("ridge", (pyr_words,), 2, "pattern classes, co-indexed with pyr")
+    for k in range(6):
+        builder.array(f"hweight{k}", (512,), 20, f"FGK weights, coder {k}")
+    for k in range(6):
+        builder.array(f"htree{k}", (512,), 10, f"FGK tree links, coder {k}")
+    builder.array("hleaf", (512,), 10, "symbol-to-leaf map (shared)")
+    builder.array("quant", (512,), 8, "lossy quantizer LUT")
+    builder.array("outbuf", (512,), 16, "bitstream staging buffer")
+
+    # ------------------------------------------------------------------
+    # Nest: input load (1 write per pixel).
+    # ------------------------------------------------------------------
+    nest = builder.nest("load", ("y", "x"), (size, size),
+                        description="stream input into the image buffer")
+    nest.write("image", index=("y", "x"), label="img_ld")
+
+    # ------------------------------------------------------------------
+    # Nest: pyramid build, level 1 from the image (stride-2 reads).
+    # ------------------------------------------------------------------
+    nest = builder.nest("build_l1", ("y", "x"), (half, half),
+                        description="decimate image into pyramid level 1")
+    src = nest.read("image", index=("2*y", "2*x"), label="img_dec")
+    nest.write("pyr", label="pyr_bw", after=[src])
+
+    # ------------------------------------------------------------------
+    # Nest: pyramid build, levels 2..K.
+    # ------------------------------------------------------------------
+    rest_words = upper_copyup_words(size)
+    nest = builder.nest("build_rest", ("i",), (rest_words,),
+                        description="decimate upper pyramid levels")
+    src = nest.read("pyr", label="pyr_br")
+    nest.write("pyr", label="pyr_bw", after=[src])
+
+    # ------------------------------------------------------------------
+    # Nest: base level raw transmission.
+    # ------------------------------------------------------------------
+    nest = builder.nest("base", ("i",), (64,),
+                        description="transmit base level raw")
+    src = nest.read("pyr", label="pyr_base")
+    nest.write("outbuf", prob=0.5, label="out_base", after=[src])
+
+    # ------------------------------------------------------------------
+    # Nest: copy-up into level 0 (image even lattice from level 1).
+    # ------------------------------------------------------------------
+    nest = builder.nest("copyup_l0", ("y", "x"), (half, half),
+                        description="reconstructed level 1 -> image lattice")
+    src = nest.read("pyr", label="pyr_cu0")
+    nest.write("image", index=("2*y", "2*x"), label="img_cu", after=[src])
+
+    # ------------------------------------------------------------------
+    # Nest: copy-up of upper levels (pyr+ridge propagate together).
+    # ------------------------------------------------------------------
+    nest = builder.nest("copyup_up", ("i",), (upper_copyup_words(size),),
+                        description="propagate recon values and ridge classes")
+    pyr_src = nest.read("pyr", label="pyr_cur", pair="src")
+    ridge_src = nest.read("ridge", label="rid_cur", pair="src")
+    nest.write("pyr", label="pyr_cuw", after=[pyr_src], pair="dst")
+    nest.write("ridge", label="rid_cuw", after=[ridge_src], pair="dst")
+
+    # ------------------------------------------------------------------
+    # Nest: encode level 0 (the hot loop: image stencil + entropy coder).
+    # Iterates over all pixels; detail pixels (3/4) do the work.  The
+    # H/V/D pixel types are mutually exclusive alternatives, so their
+    # accesses carry exclusive classes; the vertical/diagonal stencils
+    # keep three DRAM rows alive (the page-locality killer).
+    # ------------------------------------------------------------------
+    nest = builder.nest("encode_l0", ("y", "x"), (size, size),
+                        description="predict and code level-0 details")
+    centre = nest.read("image", index=("y", "x"), prob=0.75, label="img_c",
+                       pair="centre")
+    img_hw = nest.read("image", index=("y", "x-1"), prob=0.25,
+                       cls="H", label="img_hw")
+    img_he = nest.read("image", index=("y", "x+1"), prob=0.25,
+                       cls="H", label="img_he")
+    img_vn = nest.read("image", index=("y-1", "x"), prob=0.25,
+                       cls="V", rows=3, label="img_vn")
+    img_vs = nest.read("image", index=("y+1", "x"), prob=0.25,
+                       cls="V", rows=3, label="img_vs")
+    img_dn = nest.read("image", index=("y-1", "x-1"), prob=0.25, mult=2,
+                       cls="D", rows=3, label="img_dn")
+    img_ds = nest.read("image", index=("y+1", "x+1"), prob=0.25, mult=2,
+                       cls="D", rows=3, label="img_ds")
+    stencil_sites = [centre, img_hw, img_he, img_vn, img_vs, img_dn, img_ds]
+    _add_coder_accesses(nest, profile, "encode_l0", after=stencil_sites,
+                        detail_prob=0.75, lossy=lossy)
+    if lossy:
+        nest.write("image", index=("y", "x"), prob=0.75, label="img_rec",
+                   after=[centre], pair="centre")
+
+    # ------------------------------------------------------------------
+    # Nest: encode upper levels (1..K-1).
+    # ------------------------------------------------------------------
+    nest = builder.nest("encode_up", ("i",), (up_details,),
+                        description="predict and code upper-level details")
+    centre = nest.read("pyr", label="pyr_c", pair="detail")
+    nb0 = nest.read("pyr", prob=1.0, label="pyr_nb0", pair="parent")
+    nbh = nest.read("pyr", prob=1.0 / 3.0, label="pyr_nbh", cls="H",
+                    pair="nbh")
+    nbv = nest.read("pyr", prob=1.0 / 3.0, label="pyr_nbv", cls="V", rows=3,
+                    pair="nbv")
+    nbd = nest.read("pyr", prob=1.0 / 3.0, mult=3, label="pyr_nbd", cls="D",
+                    rows=3, pair="nbd")
+    rid_ctx = nest.read("ridge", prob=1.0, label="rid_ctx", pair="parent")
+    # Neighbour ridge context: read at the same indices as the values.
+    nest.read("ridge", prob=1.0 / 3.0, label="rid_nbh", cls="H", pair="nbh")
+    nest.read("ridge", prob=1.0 / 3.0, label="rid_nbv", cls="V", rows=3,
+              pair="nbv")
+    nest.read("ridge", prob=1.0 / 3.0, mult=3, label="rid_nbd", cls="D",
+              rows=3, pair="nbd")
+    nest.write("ridge", prob=1.0, label="rid_w", after=[centre], pair="detail")
+    stencil_sites = [centre, nb0, nbh, nbv, nbd, rid_ctx]
+    _add_coder_accesses(nest, profile, "encode_up", after=stencil_sites,
+                        detail_prob=1.0, lossy=lossy)
+    if lossy:
+        nest.write("pyr", prob=1.0, label="pyr_rec", after=[centre],
+                   pair="detail")
+
+    # ------------------------------------------------------------------
+    # Nest: coder model initialisation (small).
+    # ------------------------------------------------------------------
+    nest = builder.nest("huff_init", ("i",), (512,),
+                        description="clear the coder model arrays")
+    for k in range(6):
+        nest.write(f"hweight{k}", label=f"hw_init{k}")
+        nest.write(f"htree{k}", label=f"ht_init{k}")
+    nest.write("hleaf", label="hl_init")
+
+    return builder.build()
+
+
+#: Exclusive-class tag of each coder: coder 0 codes H pixels, coder 1
+#: codes V pixels, coders 2..5 code D pixels by ridge class.
+_CODER_CLASS = ("H", "V", "D:0", "D:1", "D:2", "D:3")
+
+
+def _add_coder_accesses(
+    nest,
+    profile: BtpcProfile,
+    phase: str,
+    after,
+    detail_prob: float,
+    lossy: bool,
+) -> None:
+    """Add the data-dependent entropy-coder accesses of one encode nest.
+
+    The dependence chain per detail pixel: stencil reads -> quantizer ->
+    leaf lookup -> tree walk (htree) -> weight increments (hweight) ->
+    bitstream write.  Walk lengths are conditional multiplicities
+    measured per coder use; leader-scan lookups ride alongside the
+    increment chain (they pipeline in hardware) so they add traffic but
+    no chain depth.
+    """
+    if lossy:
+        nest.read("quant", prob=detail_prob, label="quant_r", after=after)
+        leaf_after = ["quant_r"]
+    else:
+        leaf_after = list(after)
+    leaf_reads, leaf_writes = profile.rate_per_detail(phase, "hleaf")
+    hleaf = nest.read("hleaf", prob=min(1.0, leaf_reads) * detail_prob,
+                      label="hl_r", after=leaf_after)
+    if leaf_writes > 0:
+        nest.write("hleaf", prob=leaf_writes * detail_prob, label="hl_w",
+                   after=[hleaf])
+    tree_r_mult, tree_w_mult = profile.pooled_per_use(phase, "htree")
+    inc_r_mult, inc_w_mult = profile.pooled_per_use(phase, "hweight")
+    scan_mult, _ = profile.pooled_per_use(phase, "hweight_scan")
+    emit_sites = []
+    for k in range(6):
+        share = profile.coder_share(phase, k)
+        if share <= 0.0:
+            continue
+        fire = share * detail_prob
+        cls = _CODER_CLASS[k]
+        # Code emission (htree walk) and model update (hweight
+        # read-modify-write pipeline, leader scans riding alongside)
+        # both follow the leaf lookup; bits can be emitted before the
+        # update finishes, so outbuf depends on the emission walk only.
+        tree_r = nest.read(f"htree{k}", label=f"ht_r{k}", after=[hleaf],
+                           cls=cls, **_site(fire, tree_r_mult))
+        nest.read(f"hweight{k}", label=f"hw_r{k}", after=[tree_r],
+                  cls=cls, **_site(fire, inc_r_mult))
+        nest.write(f"hweight{k}", label=f"hw_w{k}", after=[tree_r],
+                   cls=cls, **_site(fire, inc_w_mult))
+        if scan_mult > 0:
+            nest.read(f"hweight{k}", label=f"hw_s{k}", after=[tree_r],
+                      cls=cls, **_site(fire, scan_mult))
+        if tree_w_mult > 0:
+            nest.write(f"htree{k}", label=f"ht_w{k}", after=[tree_r],
+                       cls=cls, **_site(fire, tree_w_mult))
+        emit_sites.append(tree_r)
+    _, out_writes = profile.rate_per_detail(phase, "outbuf")
+    nest.write("outbuf", label="out_w", after=emit_sites,
+               **_site(detail_prob, out_writes))
+
+
+def _site(fire_probability: float, per_use: float) -> Dict[str, float]:
+    """Probability/multiplicity split for a measured per-use rate.
+
+    Rates below one access per use scale the firing probability (the
+    site sometimes does nothing); rates above one become sequential
+    multiplicity (the site does a walk).
+    """
+    if per_use <= 1.0:
+        return {"prob": fire_probability * per_use, "mult": 1.0}
+    return {"prob": fire_probability, "mult": per_use}

@@ -1,0 +1,5 @@
+"""Full-search motion estimation workload."""
+
+from .spec import MotionConstraints, build_motion_program
+
+__all__ = ["MotionConstraints", "build_motion_program"]

@@ -1,0 +1,95 @@
+"""Full-search motion estimation: a second memory-exploration workload.
+
+The paper's domain is data-dominated multimedia; full-search block
+matching is its classic stress case (and the original driver for the
+IMEC data-reuse work).  For every 8x8 block of the current frame, a
++/-4-pel search window of the reference frame is scanned.  The SAD
+accumulation itself lives in a datapath register (foreground); the
+background memory traffic is the current/reference pixel supply — read
+dominated, with the reference stream hopping rows (the page-locality
+stress case), and with massive reuse for the hierarchy machinery to
+harvest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...ir import Program, ProgramBuilder
+
+
+@dataclass(frozen=True)
+class MotionConstraints:
+    """QCIF-like frame, memory-bounded design point."""
+
+    frame_width: int = 176
+    frame_height: int = 144
+    block_size: int = 8
+    search_range: int = 4
+    frame_rate_hz: float = 12.5
+    clock_hz: float = 60e6
+
+    @property
+    def blocks(self) -> int:
+        return (self.frame_width // self.block_size) * (
+            self.frame_height // self.block_size
+        )
+
+    @property
+    def candidates(self) -> int:
+        span = 2 * self.search_range + 1
+        return span * span
+
+    @property
+    def frame_time_s(self) -> float:
+        return 1.0 / self.frame_rate_hz
+
+    @property
+    def cycle_budget(self) -> int:
+        return int(self.clock_hz * self.frame_time_s)
+
+
+def build_motion_program(
+    constraints: MotionConstraints = MotionConstraints(),
+) -> Program:
+    """The pruned full-search motion estimation specification."""
+    c = constraints
+    builder = ProgramBuilder(
+        "motion",
+        description=(
+            f"full-search motion estimation, {c.frame_width}x{c.frame_height}"
+            f" @ {c.frame_rate_hz:.1f} Hz, +/-{c.search_range} pel"
+        ),
+    )
+    builder.array("current", (c.frame_height, c.frame_width), 8,
+                  "current frame")
+    builder.array("reference", (c.frame_height, c.frame_width), 8,
+                  "reference frame")
+    builder.array("vectors", (c.blocks,), 12, "motion vectors")
+    builder.array("sad", (c.candidates,), 16, "SAD results per candidate")
+
+    nest = builder.nest("load", ("y", "x"), (c.frame_height, c.frame_width),
+                        description="stream the current frame in")
+    nest.write("current", index=("y", "x"), label="cur_ld")
+
+    # The matching kernel, flattened to (block, candidate, pixel): each
+    # step reads one current-block pixel and one window pixel; the SAD
+    # accumulator is a datapath register (foreground).  The reference
+    # window walk revisits three frame rows per candidate row.
+    iterations = c.blocks * c.candidates * c.block_size * c.block_size
+    nest = builder.nest("match", ("i",), (iterations,),
+                        description="absolute-difference accumulation")
+    cur = nest.read("current", label="cur_px")
+    ref = nest.read("reference", label="ref_px", rows=3)
+    nest.write("sad", label="acc", foreground=True, after=[cur, ref])
+
+    # Candidate epilogue: commit the SAD, executed once per candidate.
+    per_pixel = 1.0 / (c.block_size * c.block_size)
+    nest.write("sad", prob=per_pixel, label="sad_commit", after=[cur])
+
+    nest = builder.nest("select", ("b", "cand"), (c.blocks, c.candidates),
+                        description="pick the minimum-SAD candidate")
+    best = nest.read("sad", label="sad_scan")
+    nest.write("vectors", prob=1.0 / c.candidates, label="vec_w", after=[best])
+
+    return builder.build()

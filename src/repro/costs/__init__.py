@@ -1,0 +1,5 @@
+"""Cost reporting for memory organizations."""
+
+from .report import CostReport, MemoryCost, render_cost_table
+
+__all__ = ["CostReport", "MemoryCost", "render_cost_table"]

@@ -1,0 +1,130 @@
+"""Cost reports: the feedback the whole methodology revolves around.
+
+Every evaluation of a memory organization produces a :class:`CostReport`
+with the three columns the paper tabulates — on-chip area [mm²], on-chip
+power [mW], off-chip power [mW] — plus the per-memory breakdown so a
+designer can see *where* the cost comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ..memlib.module import MemoryKind
+
+
+@dataclass(frozen=True)
+class MemoryCost:
+    """Cost contribution of one instantiated memory."""
+
+    name: str
+    kind: MemoryKind
+    words: int
+    width: int
+    ports: int
+    area_mm2: float
+    power_mw: float
+    #: Basic groups assigned to this memory.
+    groups: Tuple[str, ...] = ()
+    #: Aggregate access rate served [accesses/s].
+    access_rate_hz: float = 0.0
+
+    def describe(self) -> str:
+        members = ", ".join(self.groups) if self.groups else "-"
+        return (
+            f"{self.name:<28} {self.words:>9,}x{self.width:<3}"
+            f" p{self.ports} {self.area_mm2:>7.2f} mm2 {self.power_mw:>8.2f} mW"
+            f"  [{members}]"
+        )
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Area/power/performance feedback for one design alternative."""
+
+    label: str
+    memories: Tuple[MemoryCost, ...] = ()
+    #: Memory cycles actually needed by the schedule.
+    cycles_used: float = 0.0
+    #: Cycle budget the schedule had to respect.
+    cycle_budget: float = 0.0
+    notes: str = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def onchip(self) -> Tuple[MemoryCost, ...]:
+        return tuple(m for m in self.memories if m.kind is MemoryKind.ONCHIP)
+
+    @property
+    def offchip(self) -> Tuple[MemoryCost, ...]:
+        return tuple(m for m in self.memories if m.kind is MemoryKind.OFFCHIP)
+
+    @property
+    def onchip_area_mm2(self) -> float:
+        return sum(m.area_mm2 for m in self.onchip)
+
+    @property
+    def onchip_power_mw(self) -> float:
+        return sum(m.power_mw for m in self.onchip)
+
+    @property
+    def offchip_power_mw(self) -> float:
+        return sum(m.power_mw for m in self.offchip)
+
+    @property
+    def total_power_mw(self) -> float:
+        return self.onchip_power_mw + self.offchip_power_mw
+
+    @property
+    def onchip_memory_count(self) -> int:
+        return len(self.onchip)
+
+    # ------------------------------------------------------------------
+    def table_row(self) -> Tuple[str, float, float, float]:
+        """(label, on-chip area, on-chip power, off-chip power)."""
+        return (
+            self.label,
+            self.onchip_area_mm2,
+            self.onchip_power_mw,
+            self.offchip_power_mw,
+        )
+
+    def describe(self) -> str:
+        """Full multi-line breakdown."""
+        lines = [
+            f"{self.label}: on-chip {self.onchip_area_mm2:.1f} mm2 / "
+            f"{self.onchip_power_mw:.1f} mW, off-chip "
+            f"{self.offchip_power_mw:.1f} mW, total "
+            f"{self.total_power_mw:.1f} mW",
+        ]
+        for memory in self.memories:
+            lines.append("  " + memory.describe())
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+
+def render_cost_table(
+    reports: Sequence[CostReport],
+    title: str = "",
+    label_header: str = "Version",
+) -> str:
+    """Render reports as the paper's three-column cost table."""
+    width = max([len(label_header)] + [len(r.label) for r in reports]) + 2
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{label_header:<{width}}"
+        f"{'on-chip area':>14}{'on-chip power':>15}{'off-chip power':>16}"
+    )
+    lines.append(
+        f"{'':<{width}}{'[mm2]':>14}{'[mW]':>15}{'[mW]':>16}"
+    )
+    for report in reports:
+        label, area, onp, offp = report.table_row()
+        lines.append(
+            f"{label:<{width}}{area:>14.1f}{onp:>15.1f}{offp:>16.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Data Transfer and Storage Exploration: the physical memory
+management tools and the design-step transforms."""
+
+from .hierarchy import apply_hierarchy, hierarchy_alternatives
+from .macp import MacpReport, analyze_macp, body_critical_path, body_slots
+from .pipeline import PmmResult, make_cap_fn, make_weight_fn, run_pmm
+from .reuse import StencilPattern, describe_stencil, find_stencil
+from .structuring import compact_group, merge_groups
+
+__all__ = [
+    "MacpReport",
+    "PmmResult",
+    "StencilPattern",
+    "analyze_macp",
+    "apply_hierarchy",
+    "body_critical_path",
+    "body_slots",
+    "compact_group",
+    "describe_stencil",
+    "find_stencil",
+    "hierarchy_alternatives",
+    "make_cap_fn",
+    "make_weight_fn",
+    "merge_groups",
+    "run_pmm",
+]

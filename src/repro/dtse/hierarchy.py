@@ -1,0 +1,211 @@
+"""Custom memory hierarchy insertion (paper §4.4).
+
+Fully custom hierarchy: every access is explicitly directed to one
+layer, copies between layers are compile-time code, and lower layers can
+be bypassed (no hardware cache).  For a recognized stencil this module
+builds the paper's four alternatives:
+
+* no hierarchy,
+* layer 1 only — an on-chip row buffer (``yhier``),
+* layer 0 only — a datapath register window (``ylocal``), whose
+  accesses are *foreground* (they cost energy but no storage cycles),
+* both layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.arrays import BasicGroup
+from ..ir.loops import Access, LoopNest
+from ..ir.program import Program
+from ..ir.types import READ, WRITE, TransformError
+from .reuse import StencilPattern, find_stencil
+
+
+def _retarget_stencil(
+    nest: LoopNest,
+    pattern: StencilPattern,
+    layer: str,
+    foreground: bool,
+) -> LoopNest:
+    """Point the stencil read sites at a hierarchy layer."""
+
+    members = set(pattern.site_labels)
+
+    def mapper(access: Access):
+        if access.label in members:
+            return replace(
+                access,
+                group=layer,
+                index=None,
+                foreground=foreground,
+                dram_rows=1,
+                pair_key=None,
+            )
+        return access
+
+    return nest.map_accesses(mapper)
+
+
+def _with_feed(
+    nest: LoopNest,
+    source: str,
+    target: Optional[str],
+    feed_per_iteration: float,
+    label: str,
+    target_foreground: bool,
+) -> LoopNest:
+    """Add prefetch traffic: read ``source``, write ``target``.
+
+    The feed runs ahead of the consumers (software-pipelined prefetch),
+    so it carries no dependence edges: the scheduler may place it in any
+    free cycle.  Sequential by construction (``dram_rows=1``).
+    """
+    accesses: List[Access] = [
+        Access(
+            group=source,
+            kind=READ,
+            label=f"{label}_rd",
+            probability=min(1.0, feed_per_iteration),
+            multiplicity=max(1.0, feed_per_iteration),
+            dram_rows=1,
+        )
+    ]
+    if target is not None:
+        accesses.append(
+            Access(
+                group=target,
+                kind=WRITE,
+                label=f"{label}_wr",
+                probability=min(1.0, feed_per_iteration),
+                multiplicity=max(1.0, feed_per_iteration),
+                dram_rows=1,
+                foreground=target_foreground,
+            )
+        )
+    statement = nest.body[-1]
+    new_statement = replace(
+        statement, accesses=statement.accesses + tuple(accesses)
+    )
+    return replace(nest, body=nest.body[:-1] + (new_statement,))
+
+
+def apply_hierarchy(
+    program: Program,
+    nest_name: str,
+    group: str,
+    use_registers: bool,
+    use_rowbuffer: bool,
+    register_layer: str = "ylocal",
+    rowbuffer_layer: str = "yhier",
+) -> Program:
+    """Insert the chosen hierarchy layers for one stencil pattern."""
+    if not use_registers and not use_rowbuffer:
+        return program
+    pattern = find_stencil(program, nest_name, group)
+    if pattern is None:
+        raise TransformError(
+            f"no stencil on {group!r} in nest {nest_name!r}: "
+            "hierarchy needs recognizable reuse"
+        )
+    array = program.array(group)
+    row_length = array.shape[1]
+    width = array.bitwidth
+
+    new_groups: List[BasicGroup] = list(program.groups)
+    nest = program.nest(nest_name)
+    suffix_parts = []
+
+    if use_rowbuffer:
+        new_groups.append(
+            BasicGroup(
+                name=rowbuffer_layer,
+                words=pattern.rowbuffer_words(row_length),
+                bitwidth=width,
+                structure="hierarchy",
+                description=f"row buffer layer over {group}",
+            )
+        )
+        suffix_parts.append("L1")
+    if use_registers:
+        new_groups.append(
+            BasicGroup(
+                name=register_layer,
+                words=pattern.window_words,
+                bitwidth=width,
+                structure="registers",
+                description=f"register window layer over {group}",
+            )
+        )
+        suffix_parts.append("L0")
+
+    if use_registers and use_rowbuffer:
+        # Stencil -> registers; registers fed from the row buffer;
+        # row buffer fed from the source array.
+        nest = _retarget_stencil(nest, pattern, register_layer, foreground=True)
+        nest = _with_feed(
+            nest,
+            source=rowbuffer_layer,
+            target=register_layer,
+            feed_per_iteration=pattern.window_feed_per_iteration(),
+            label="l0_feed",
+            target_foreground=True,
+        )
+        nest = _with_feed(
+            nest,
+            source=group,
+            target=rowbuffer_layer,
+            feed_per_iteration=pattern.rowbuffer_feed_per_iteration(),
+            label="l1_feed",
+            target_foreground=False,
+        )
+    elif use_registers:
+        nest = _retarget_stencil(nest, pattern, register_layer, foreground=True)
+        nest = _with_feed(
+            nest,
+            source=group,
+            target=register_layer,
+            feed_per_iteration=pattern.window_feed_per_iteration(),
+            label="l0_feed",
+            target_foreground=True,
+        )
+    else:
+        nest = _retarget_stencil(nest, pattern, rowbuffer_layer, foreground=False)
+        nest = _with_feed(
+            nest,
+            source=group,
+            target=rowbuffer_layer,
+            feed_per_iteration=pattern.rowbuffer_feed_per_iteration(),
+            label="l1_feed",
+            target_foreground=False,
+        )
+
+    nests = tuple(
+        nest if n.name == nest_name else n for n in program.nests
+    )
+    suffix = "+".join(suffix_parts)
+    result = program.with_groups_and_nests(new_groups, nests)
+    return result.renamed(
+        f"{program.name}+hier_{suffix}",
+        description=f"{program.description}; hierarchy {suffix} on {group}",
+    )
+
+
+def hierarchy_alternatives(
+    program: Program, nest_name: str, group: str
+) -> Dict[str, Program]:
+    """The paper's four Table 2 alternatives."""
+    return {
+        "No hierarchy": program,
+        "Only layer 1 (yhier)": apply_hierarchy(
+            program, nest_name, group, use_registers=False, use_rowbuffer=True
+        ),
+        "Only layer 0 (ylocal)": apply_hierarchy(
+            program, nest_name, group, use_registers=True, use_rowbuffer=False
+        ),
+        "2 layers (both)": apply_hierarchy(
+            program, nest_name, group, use_registers=True, use_rowbuffer=True
+        ),
+    }

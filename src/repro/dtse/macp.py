@@ -1,0 +1,98 @@
+"""Memory access critical path (MACP) analysis (paper §4.2).
+
+Dependences between memory accesses demand a certain amount of
+sequentialism; the minimal chain of dependences limits the application's
+execution speed.  The MACP of a loop body is the longest dependence
+chain through its accesses (in cycles, one access per cycle per chain
+step); the program MACP is the sum over nests of body-MACP times
+iteration count.  If the MACP exceeds the storage cycle budget, no
+memory organization can meet the real-time constraint and global loop
+transformations are required first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..ir.loops import LoopNest
+from ..ir.program import Program
+
+
+@dataclass(frozen=True)
+class MacpReport:
+    """Critical-path feedback for one program."""
+
+    program_name: str
+    #: nest name -> (body critical path, iterations, body access slots).
+    per_nest: Dict[str, Tuple[int, float, int]]
+    cycle_budget: float
+
+    @property
+    def total_macp(self) -> float:
+        """Lower bound on memory cycles imposed by dependences."""
+        return sum(path * iters for path, iters, _ in self.per_nest.values())
+
+    @property
+    def sequential_cycles(self) -> float:
+        """Upper bound: every access in its own cycle."""
+        return sum(slots * iters for _, iters, slots in self.per_nest.values())
+
+    @property
+    def feasible(self) -> bool:
+        return self.total_macp <= self.cycle_budget
+
+    @property
+    def parallelism_required(self) -> float:
+        """Average accesses/cycle needed to fit the budget."""
+        if self.cycle_budget <= 0:
+            return math.inf
+        return self.sequential_cycles / self.cycle_budget
+
+    def describe(self) -> str:
+        lines = [
+            f"MACP analysis of {self.program_name!r} "
+            f"(budget {self.cycle_budget:,.0f} cycles):",
+            f"  dependence lower bound: {self.total_macp:>13,.0f} cycles"
+            f" ({'feasible' if self.feasible else 'INFEASIBLE'})",
+            f"  fully sequential:       {self.sequential_cycles:>13,.0f} cycles",
+            f"  required parallelism:   {self.parallelism_required:>13.2f}x",
+        ]
+        lines.append(f"  {'nest':<14}{'body path':>10}{'body slots':>11}{'iterations':>14}")
+        for name, (path, iters, slots) in self.per_nest.items():
+            lines.append(f"  {name:<14}{path:>10}{slots:>11}{iters:>14,.0f}")
+        return "\n".join(lines)
+
+
+def body_critical_path(nest: LoopNest) -> int:
+    """Longest dependence chain through one body execution.
+
+    Delegates to the occurrence-level flow graph (the scheduler's own
+    bound): multi-access walks expand into chained occurrences, walks
+    feeding walks pipeline step by step, and foreground accesses cost
+    nothing.
+    """
+    from .scbd.flowgraph import BodyFlowGraph
+
+    return BodyFlowGraph(nest).macp
+
+
+def body_slots(nest: LoopNest) -> int:
+    """Access slots needed for a fully sequential body."""
+    return sum(
+        max(1, math.ceil(access.multiplicity))
+        for access in nest.iter_accesses()
+        if not access.foreground
+    )
+
+
+def analyze_macp(program: Program, cycle_budget: float) -> MacpReport:
+    """Compute the MACP report for ``program`` against a cycle budget."""
+    per_nest = {
+        nest.name: (body_critical_path(nest), nest.iterations, body_slots(nest))
+        for nest in program.nests
+    }
+    return MacpReport(
+        program_name=program.name, per_nest=per_nest, cycle_budget=cycle_budget
+    )

@@ -1,0 +1,134 @@
+"""The physical memory management stage, end to end.
+
+``run_pmm`` is the feedback oracle the whole methodology revolves
+around: given a (possibly transformed) specification and a cycle budget,
+it runs storage cycle budget distribution followed by memory
+allocation/assignment and returns the accurate area/power cost report —
+the paper's "Estimated A/T/P to guide decision" box (Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..costs.report import CostReport
+from ..ir.program import Program
+from ..memlib.library import MemoryLibrary, default_library
+from .allocation.assign import (
+    DEFAULT_AREA_WEIGHT,
+    AllocationResult,
+    assign_memories,
+    build_nest_loads,
+)
+from .scbd.conflict import ConflictGraph
+from .scbd.distribution import BudgetDistribution, distribute
+
+#: Relative conflict penalties used to steer flow-graph balancing: a
+#: conflict between two off-chip groups forces DRAM interleaving (very
+#: expensive), mixed conflicts force parallel buses off chip, on-chip
+#: conflicts just constrain the assignment.
+OFFCHIP_PAIR_PENALTY = 12.0
+OFFCHIP_SINGLE_PENALTY = 4.0
+SELF_CONFLICT_FACTOR = 2.0
+
+
+@dataclass
+class PmmResult:
+    """Everything the physical memory management stage produced."""
+
+    program: Program
+    distribution: BudgetDistribution
+    allocation: AllocationResult
+
+    @property
+    def report(self) -> CostReport:
+        return self.allocation.report
+
+    @property
+    def conflict_graph(self) -> ConflictGraph:
+        return self.distribution.conflict_graph
+
+
+#: Off-chip memories can interleave up to this many DRAM banks.
+MAX_OFFCHIP_BANKS = 4
+
+
+def make_weight_fn(program: Program, library: MemoryLibrary):
+    """Balancing weights that know which groups will live off-chip."""
+    offchip = {
+        group.name for group in program.groups if library.is_offchip(group)
+    }
+
+    def weight(group_a: str, group_b: str) -> float:
+        factor = 1.0
+        off_count = (group_a in offchip) + (group_b in offchip)
+        if off_count == 2:
+            factor = OFFCHIP_PAIR_PENALTY
+        elif off_count == 1:
+            factor = OFFCHIP_SINGLE_PENALTY
+        if group_a == group_b:
+            factor *= SELF_CONFLICT_FACTOR
+        return factor
+
+    return weight
+
+
+def make_cap_fn(program: Program, library: MemoryLibrary):
+    """Port caps per group: 2 for on-chip macros, 4 DRAM banks off-chip."""
+    offchip = {
+        group.name for group in program.groups if library.is_offchip(group)
+    }
+
+    def cap(group: str) -> int:
+        return MAX_OFFCHIP_BANKS if group in offchip else 2
+
+    return cap
+
+
+def run_pmm(
+    program: Program,
+    cycle_budget: float,
+    frame_time_s: float,
+    library: Optional[MemoryLibrary] = None,
+    n_onchip: Optional[int] = None,
+    area_weight: float = DEFAULT_AREA_WEIGHT,
+    label: str = "",
+    seed: int = 0,
+) -> PmmResult:
+    """Run SCBD + allocation/assignment and return the cost feedback.
+
+    Parameters
+    ----------
+    program:
+        The (pruned, transformed) specification to evaluate.
+    cycle_budget:
+        Storage cycle budget for one frame.
+    frame_time_s:
+        Frame period; converts access counts into rates for the power
+        models.
+    n_onchip:
+        Fix the number of on-chip memories (Table 4 axis); ``None``
+        lets the allocator pick the cheapest count.
+    """
+    if library is None:
+        library = default_library()
+    weight_fn = make_weight_fn(program, library)
+    cap_fn = make_cap_fn(program, library)
+    distribution = distribute(program, cycle_budget, weight_fn, cap_fn)
+    allocation = assign_memories(
+        program=program,
+        conflicts=distribution.conflict_graph,
+        library=library,
+        frame_time_s=frame_time_s,
+        nest_loads=build_nest_loads(program, distribution.budgets),
+        n_onchip=n_onchip,
+        area_weight=area_weight,
+        cycles_used=distribution.cycles_used,
+        cycle_budget=cycle_budget,
+        label=label or program.name,
+        seed=seed,
+    )
+    return PmmResult(
+        program=program, distribution=distribution, allocation=allocation
+    )

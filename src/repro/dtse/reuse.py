@@ -1,0 +1,124 @@
+"""Data reuse analysis for the memory hierarchy decision (paper §4.4).
+
+Detail-pixel prediction reads a small window of the image around every
+position: each coarse-lattice pixel is read by several neighbouring
+predictions.  This module recognizes such stencil patterns from the
+affine indexes of a nest's read sites and derives the *copy-layer
+candidates* with their sizes and feed (copy-in) traffic:
+
+* a **register window** holding the sliding stencil footprint (the
+  paper's 12-register ``ylocal``), fed with the columns entering the
+  window each iteration;
+* a **row buffer** holding the rows the stencil spans (the paper's 5 K
+  ``yhier``), fed with every source word exactly once per sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..ir.loops import LoopNest
+from ..ir.program import Program
+from ..ir.types import READ
+
+
+@dataclass(frozen=True)
+class StencilPattern:
+    """A 2-D window access pattern recognized in one nest."""
+
+    nest: str
+    group: str
+    #: Stencil extent in rows/columns (bounding box of the offsets).
+    row_span: int
+    col_span: int
+    #: Iteration stride along rows/columns.
+    row_stride: int
+    col_stride: int
+    #: Expected group reads per nest iteration through the stencil.
+    reads_per_iteration: float
+    #: Labels of the read sites forming the stencil.
+    site_labels: Tuple[str, ...]
+
+    @property
+    def window_words(self) -> int:
+        """Register window size: span plus the entering columns."""
+        return self.row_span * (self.col_span + self.col_stride)
+
+    def window_feed_per_iteration(self) -> float:
+        """Expected new words entering the register window per step.
+
+        The window shifts by ``col_stride`` columns, exposing
+        ``row_span * col_stride`` slots; lazy filling bounds the feed by
+        the stencil's own read rate.
+        """
+        slots = self.row_span * self.col_stride
+        return min(float(slots), self.reads_per_iteration)
+
+    def rowbuffer_words(self, row_length: int) -> int:
+        """Row buffer size: the spanned rows plus one prefetch row."""
+        return (self.row_span + 1) * row_length
+
+    def rowbuffer_feed_per_iteration(self) -> float:
+        """Each source word enters the row buffer once per sweep."""
+        return float(self.row_stride * self.col_stride)
+
+
+def find_stencil(
+    program: Program, nest_name: str, group: str
+) -> Optional[StencilPattern]:
+    """Recognize a stencil over ``group`` in ``nest_name`` (or None).
+
+    Requires a 2-deep nest with 2-D affine indexes on the read sites;
+    offsets are collected from the index constants.
+    """
+    nest = program.nest(nest_name)
+    if len(nest.iterators) != 2:
+        return None
+    row_iter, col_iter = nest.iterators
+    offsets: List[Tuple[int, int]] = []
+    labels: List[str] = []
+    reads = 0.0
+    row_stride = col_stride = 1
+    for access in nest.iter_accesses():
+        if access.group != group or access.kind is not READ:
+            continue
+        if access.index is None or len(access.index) != 2:
+            continue
+        row_expr, col_expr = access.index
+        if set(row_expr.iterators) - {row_iter} or set(col_expr.iterators) - {col_iter}:
+            continue
+        row_stride = max(row_stride, abs(row_expr.coefficient(row_iter)))
+        col_stride = max(col_stride, abs(col_expr.coefficient(col_iter)))
+        offsets.append((row_expr.offset, col_expr.offset))
+        labels.append(access.label)
+        reads += access.expected_accesses
+    if len(labels) < 2:
+        return None
+    row_offsets = [dy for dy, _ in offsets]
+    col_offsets = [dx for _, dx in offsets]
+    return StencilPattern(
+        nest=nest_name,
+        group=group,
+        row_span=max(row_offsets) - min(row_offsets) + 1,
+        col_span=max(col_offsets) - min(col_offsets) + 1,
+        row_stride=row_stride,
+        col_stride=col_stride,
+        reads_per_iteration=reads,
+        site_labels=tuple(labels),
+    )
+
+
+def describe_stencil(pattern: StencilPattern, row_length: int) -> str:
+    """Human-readable reuse summary (used by the Figure 3 bench)."""
+    lines = [
+        f"Stencil on {pattern.group!r} in nest {pattern.nest!r}:",
+        f"  window {pattern.row_span}x{pattern.col_span}, stride "
+        f"({pattern.row_stride},{pattern.col_stride}), "
+        f"{pattern.reads_per_iteration:.2f} reads/iteration",
+        f"  register window: {pattern.window_words} words, feed "
+        f"{pattern.window_feed_per_iteration():.2f} words/iteration",
+        f"  row buffer: {pattern.rowbuffer_words(row_length)} words, feed "
+        f"{pattern.rowbuffer_feed_per_iteration():.2f} words/iteration",
+    ]
+    return "\n".join(lines)

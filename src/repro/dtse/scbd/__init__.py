@@ -1,0 +1,18 @@
+"""Storage cycle budget distribution (SCBD)."""
+
+from .balancing import BodySchedule, balance
+from .conflict import ConcurrencySlot, ConflictGraph
+from .distribution import BudgetDistribution, distribute
+from .flowgraph import BodyFlowGraph, InfeasibleBudget, Occurrence
+
+__all__ = [
+    "BodyFlowGraph",
+    "BodySchedule",
+    "BudgetDistribution",
+    "ConcurrencySlot",
+    "ConflictGraph",
+    "InfeasibleBudget",
+    "Occurrence",
+    "balance",
+    "distribute",
+]

@@ -1,0 +1,242 @@
+"""Basic group structuring: compaction and merging (paper §4.3).
+
+*Compaction* packs ``factor`` consecutive narrow words into one wider
+word (Figure 2a): scan-order reads coalesce (one wide read replaces
+``factor`` narrow ones), but every write becomes a read-modify-write so
+the neighbouring sub-words survive — the paper's trade-off verbatim.
+
+*Merging* zips two equally-sized groups into an array of records
+(Figure 2b): accesses sharing a ``pair_key`` (same address, same
+iteration) collapse into one access of the merged group; a write to only
+one field needs a read-modify-write unless a same-address access already
+fetched the record in the same body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.arrays import BasicGroup
+from ..ir.loops import Access, LoopNest, Statement
+from ..ir.program import Program
+from ..ir.types import READ, WRITE, AccessKind, TransformError
+
+
+def _rewrite_nest(
+    nest: LoopNest,
+    fates: Dict[str, Tuple[Access, ...]],
+    aliases: Dict[str, str],
+    extra_edges: Tuple[Tuple[str, str], ...] = (),
+) -> LoopNest:
+    """Apply per-access fates and rewire dependences.
+
+    ``fates[label]`` lists the replacement accesses for a site (empty =
+    deleted); ``aliases[label]`` names the surviving access that absorbed
+    a deleted one, so its dependence edges transfer instead of dying.
+    """
+    new_body: List[Statement] = []
+    replacement: Dict[str, Tuple[str, ...]] = {}
+    for statement in nest.body:
+        new_accesses: List[Access] = []
+        for access in statement.accesses:
+            if access.label not in fates:
+                new_accesses.append(access)
+                replacement[access.label] = (access.label,)
+                continue
+            fate = fates[access.label]
+            new_accesses.extend(fate)
+            if fate:
+                replacement[access.label] = tuple(a.label for a in fate)
+            elif access.label in aliases:
+                replacement[access.label] = (aliases[access.label],)
+            else:
+                replacement[access.label] = ()
+        new_body.append(replace(statement, accesses=tuple(new_accesses)))
+    new_edges = set(extra_edges)
+    for src, dst in nest.dependences:
+        for new_src in replacement.get(src, (src,)):
+            for new_dst in replacement.get(dst, (dst,)):
+                if new_src != new_dst:
+                    new_edges.add((new_src, new_dst))
+    return replace(nest, body=tuple(new_body), dependences=frozenset(new_edges))
+
+
+# ----------------------------------------------------------------------
+# Compaction
+# ----------------------------------------------------------------------
+def compact_group(
+    program: Program, group_name: str, factor: int, new_name: Optional[str] = None
+) -> Program:
+    """Compact ``group_name`` by ``factor`` (paper Figure 2a).
+
+    Reads are assumed to be consumed in scan order, so ``factor`` narrow
+    reads coalesce into one wide read; every write keeps its count *and*
+    gains a read-modify-write companion read.
+    """
+    group = program.group(group_name)
+    compacted = group.compacted(factor, new_name)
+    new_nests = []
+    for nest in program.nests:
+        fates: Dict[str, Tuple[Access, ...]] = {}
+        extra_edges: List[Tuple[str, str]] = []
+        for access in nest.iter_accesses():
+            if access.group != group_name:
+                continue
+            moved = replace(
+                access, group=compacted.name, index=None, pair_key=None
+            )
+            if access.kind is READ:
+                fates[access.label] = (
+                    replace(moved, probability=access.probability / factor),
+                )
+            else:
+                rmw = Access(
+                    group=compacted.name,
+                    kind=READ,
+                    label=f"{access.label}_rmw",
+                    probability=access.probability,
+                    multiplicity=access.multiplicity,
+                    exclusive_class=access.exclusive_class,
+                    dram_rows=access.dram_rows,
+                    foreground=access.foreground,
+                )
+                fates[access.label] = (rmw, moved)
+                extra_edges.append((rmw.label, moved.label))
+        new_nests.append(_rewrite_nest(nest, fates, {}, tuple(extra_edges)))
+    groups = [g for g in program.groups if g.name != group_name] + [compacted]
+    result = program.with_groups_and_nests(groups, new_nests)
+    return result.renamed(
+        f"{program.name}+{group_name}_x{factor}",
+        description=f"{program.description}; {group_name} compacted x{factor}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Merging
+# ----------------------------------------------------------------------
+def merge_groups(
+    program: Program,
+    first: str,
+    second: str,
+    new_name: Optional[str] = None,
+    rmw_exempt: Tuple[Tuple[str, str], ...] = (),
+) -> Program:
+    """Merge two co-indexed groups into an array of records (Fig. 2b).
+
+    ``rmw_exempt`` lists ``(nest, write_label)`` pairs whose partner
+    field is provably *dead* at the write (e.g. the pyramid-build writes
+    happen before any ridge class exists), so no read-modify-write is
+    needed to preserve it.
+    """
+    group_a = program.group(first)
+    group_b = program.group(second)
+    merged = group_a.merged_with(group_b, new_name)
+    exempt = set(rmw_exempt)
+    new_nests = [
+        _merge_in_nest(
+            nest,
+            first,
+            second,
+            merged.name,
+            {label for n, label in exempt if n == nest.name},
+        )
+        for nest in program.nests
+    ]
+    groups = [
+        g for g in program.groups if g.name not in (first, second)
+    ] + [merged]
+    result = program.with_groups_and_nests(groups, new_nests)
+    return result.renamed(
+        f"{program.name}+{merged.name}",
+        description=f"{program.description}; {first}+{second} merged",
+    )
+
+
+def _merge_in_nest(
+    nest: LoopNest,
+    first: str,
+    second: str,
+    merged: str,
+    rmw_exempt: Optional[set] = None,
+) -> LoopNest:
+    rmw_exempt = rmw_exempt or set()
+    fates: Dict[str, Tuple[Access, ...]] = {}
+    aliases: Dict[str, str] = {}
+    extra_edges: List[Tuple[str, str]] = []
+    targets = [
+        access
+        for access in nest.iter_accesses()
+        if access.group in (first, second)
+    ]
+    if not targets:
+        return nest
+
+    by_key: Dict[Tuple[str, AccessKind], List[Access]] = {}
+    for access in targets:
+        if access.pair_key is not None:
+            by_key.setdefault((access.pair_key, access.kind), []).append(access)
+
+    collapsed: Dict[str, Access] = {}  # deleted label -> survivor
+    handled: set = set()
+    for (key, kind), accesses in by_key.items():
+        firsts = [a for a in accesses if a.group == first]
+        seconds = [a for a in accesses if a.group == second]
+        if not firsts or not seconds:
+            continue
+        survivor, victim = firsts[0], seconds[0]
+        if survivor.multiplicity != victim.multiplicity:
+            continue  # walks of different length cannot collapse
+        handled.add(survivor.label)
+        handled.add(victim.label)
+        collapsed[victim.label] = survivor.label
+        fates[survivor.label] = (
+            replace(
+                survivor,
+                group=merged,
+                probability=max(survivor.probability, victim.probability),
+                exclusive_class=(
+                    survivor.exclusive_class
+                    if survivor.exclusive_class == victim.exclusive_class
+                    else None
+                ),
+                dram_rows=max(survivor.dram_rows, victim.dram_rows),
+            ),
+        )
+        fates[victim.label] = ()
+        aliases[victim.label] = survivor.label
+
+    #: pair keys for which the merged record is already fetched.
+    covering_keys = {
+        access.pair_key
+        for access in targets
+        if access.kind is READ and access.pair_key is not None
+    }
+    for access in targets:
+        if access.label in handled:
+            continue
+        moved = replace(access, group=merged)
+        if access.kind is READ:
+            fates[access.label] = (moved,)
+        elif access.label in rmw_exempt:
+            # Liveness exemption: the partner field holds no live data
+            # at this write, so nothing needs preserving.
+            fates[access.label] = (moved,)
+        elif access.pair_key is not None and access.pair_key in covering_keys:
+            # The record was read at this address in the same iteration:
+            # the write can fill in the other field without re-reading.
+            fates[access.label] = (moved,)
+        else:
+            rmw = Access(
+                group=merged,
+                kind=READ,
+                label=f"{access.label}_rmw",
+                probability=access.probability,
+                multiplicity=access.multiplicity,
+                exclusive_class=access.exclusive_class,
+                dram_rows=access.dram_rows,
+                foreground=access.foreground,
+            )
+            fates[access.label] = (rmw, moved)
+            extra_edges.append((rmw.label, moved.label))
+    return _rewrite_nest(nest, fates, aliases, tuple(extra_edges))

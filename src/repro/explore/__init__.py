@@ -1,0 +1,24 @@
+"""System-level exploration driver: sessions, Pareto tools, the BTPC study."""
+
+from .btpc_study import (
+    CHOSEN_BUDGET_FRACTION,
+    RMW_EXEMPT,
+    TABLE3_FRACTIONS,
+    TABLE4_COUNTS,
+    BtpcStudy,
+)
+from .pareto import dominates, knee_point, pareto_front
+from .session import Evaluation, ExplorationSession
+
+__all__ = [
+    "CHOSEN_BUDGET_FRACTION",
+    "RMW_EXEMPT",
+    "TABLE3_FRACTIONS",
+    "TABLE4_COUNTS",
+    "BtpcStudy",
+    "Evaluation",
+    "ExplorationSession",
+    "dominates",
+    "knee_point",
+    "pareto_front",
+]

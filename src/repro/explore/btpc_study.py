@@ -1,0 +1,286 @@
+"""The canonical BTPC exploration: every table and figure of the paper.
+
+This module chains the methodology exactly as the paper does:
+
+1. **Table 1** — basic group structuring alternatives, evaluated at the
+   full cycle budget (no hierarchy yet).  Decision: merge ``ridge`` and
+   ``pyr``.
+2. **Table 2** — memory hierarchy alternatives for ``image`` on the
+   merged program.  Decision: layer 0 only (the 12-register window).
+3. **Table 3** — storage-cycle-budget trade-off on the chosen program at
+   the designer's 4-memory allocation: how many cycles can be handed
+   back to the datapath before the memory organization cost rises.
+4. **Table 4** — memory allocation exploration (number of on-chip
+   memories) at the tightened budget.
+
+Figures 1-3 are regenerated as text artifacts: the exploration tree with
+its cost feedback (Fig. 1), the structuring transforms' concrete effect
+(Fig. 2) and the reuse/hierarchy layering for ``image`` (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps.btpc import BtpcConstraints, BtpcProfile, build_btpc_program, profile_btpc
+from ..costs.report import CostReport, render_cost_table
+from ..dtse.hierarchy import apply_hierarchy, hierarchy_alternatives
+from ..dtse.reuse import describe_stencil, find_stencil
+from ..dtse.structuring import compact_group, merge_groups
+from ..ir.program import Program
+from ..memlib.library import MemoryLibrary, default_library
+from .session import ExplorationSession
+
+#: Pyramid-build writes touch records whose ridge field is not live yet.
+RMW_EXEMPT = (("build_l1", "pyr_bw"), ("build_rest", "pyr_bw"))
+
+#: Budget fractions evaluated in Table 3 (1.0 = the full 20.97 M cycles).
+TABLE3_FRACTIONS = (1.0, 0.95, 0.90, 0.85, 0.82)
+
+#: Fraction of the full budget used from Table 3 onwards (the paper
+#: hands ~15 % of the cycles back to the datapath).
+CHOSEN_BUDGET_FRACTION = 0.85
+
+#: On-chip memory counts swept in Table 4 (the paper's rows).
+TABLE4_COUNTS = (4, 5, 8, 10, 14)
+
+#: Allocation used while exploring the cycle budget (Table 3).  The
+#: paper used its then-current small allocation; 4 memories are not
+#: always feasible for our conflict graphs, so the designer's working
+#: allocation is 5.
+TABLE3_ALLOCATION = 5
+
+
+@dataclass
+class BtpcStudy:
+    """Runs (and caches) the full BTPC exploration."""
+
+    constraints: BtpcConstraints = field(default_factory=BtpcConstraints)
+    profile: Optional[BtpcProfile] = None
+    library: MemoryLibrary = field(default_factory=default_library)
+
+    def __post_init__(self) -> None:
+        if self.profile is None:
+            self.profile = profile_btpc()
+        self.session = ExplorationSession(
+            cycle_budget=self.constraints.cycle_budget,
+            frame_time_s=self.constraints.frame_time_s,
+            library=self.library,
+        )
+        self._base: Optional[Program] = None
+        self._merged: Optional[Program] = None
+        self._hier: Optional[Program] = None
+        self._tables: Dict[str, List[CostReport]] = {}
+
+    # ------------------------------------------------------------------
+    # Programs along the decision chain
+    # ------------------------------------------------------------------
+    @property
+    def base_program(self) -> Program:
+        if self._base is None:
+            self._base = build_btpc_program(self.constraints, self.profile)
+        return self._base
+
+    @property
+    def merged_program(self) -> Program:
+        """After the Table 1 decision (ridge+pyr merged)."""
+        if self._merged is None:
+            self._merged = merge_groups(
+                self.base_program, "pyr", "ridge", "pyrridge",
+                rmw_exempt=RMW_EXEMPT,
+            )
+        return self._merged
+
+    @property
+    def hierarchy_program(self) -> Program:
+        """After the Table 2 decision (layer 0 registers)."""
+        if self._hier is None:
+            self._hier = apply_hierarchy(
+                self.merged_program, "encode_l0", "image",
+                use_registers=True, use_rowbuffer=False,
+            )
+        return self._hier
+
+    @property
+    def chosen_budget(self) -> int:
+        return int(self.constraints.cycle_budget * CHOSEN_BUDGET_FRACTION)
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def table1(self) -> List[CostReport]:
+        """Basic group structuring (paper Table 1)."""
+        if "table1" not in self._tables:
+            alternatives = [
+                ("No structuring", self.base_program),
+                ("ridge compacted", compact_group(self.base_program, "ridge", 3)),
+                ("ridge and pyr merged", self.merged_program),
+            ]
+            reports = [
+                self.session.evaluate(program, "Basic group structuring", label).report
+                for label, program in alternatives
+            ]
+            self.session.choose("Basic group structuring", "ridge and pyr merged")
+            self._tables["table1"] = reports
+        return self._tables["table1"]
+
+    def table2(self) -> List[CostReport]:
+        """Memory hierarchy decision (paper Table 2)."""
+        if "table2" not in self._tables:
+            reports = []
+            for label, program in hierarchy_alternatives(
+                self.merged_program, "encode_l0", "image"
+            ).items():
+                reports.append(
+                    self.session.evaluate(program, "Memory hierarchy", label).report
+                )
+            self.session.choose("Memory hierarchy", "Only layer 0 (ylocal)")
+            self._tables["table2"] = reports
+        return self._tables["table2"]
+
+    def table3(self) -> List[Tuple[float, CostReport]]:
+        """Cycle budget distribution trade-off (paper Table 3).
+
+        Returns (extra cycles for the datapath, report) rows.  Evaluated
+        at the designer's 4-memory allocation, like the paper (its
+        15.7 % row equals Table 4's 4-memory row).
+        """
+        if "table3" not in self._tables:
+            rows = []
+            full = self.constraints.cycle_budget
+            for fraction in TABLE3_FRACTIONS:
+                result = self.session.evaluate(
+                    self.hierarchy_program,
+                    "Cycle budget",
+                    f"{fraction:.0%} budget",
+                    cycle_budget=int(full * fraction),
+                    n_onchip=TABLE3_ALLOCATION,
+                )
+                extra = full - result.distribution.cycles_used
+                rows.append((extra, result.report))
+            self.session.choose(
+                "Cycle budget", f"{CHOSEN_BUDGET_FRACTION:.0%} budget"
+            )
+            self._tables["table3"] = rows
+        return self._tables["table3"]
+
+    def table4(self) -> List[Tuple[int, CostReport]]:
+        """Memory allocation exploration (paper Table 4)."""
+        if "table4" not in self._tables:
+            rows = []
+            for count in TABLE4_COUNTS:
+                result = self.session.evaluate(
+                    self.hierarchy_program,
+                    "Memory allocation",
+                    f"{count} on-chip memories",
+                    cycle_budget=self.chosen_budget,
+                    n_onchip=count,
+                )
+                rows.append((count, result.report))
+            self.session.choose("Memory allocation", "8 on-chip memories")
+            self._tables["table4"] = rows
+        return self._tables["table4"]
+
+    # ------------------------------------------------------------------
+    # Figures
+    # ------------------------------------------------------------------
+    def figure1(self) -> str:
+        """The stepwise methodology tree with live cost feedback."""
+        self.table1()
+        self.table2()
+        self.table3()
+        self.table4()
+        return self.session.render_tree()
+
+    def figure2(self) -> str:
+        """Concrete before/after of compaction and merging (Fig. 2)."""
+        base = self.base_program
+        compacted = compact_group(base, "ridge", 3)
+        merged = self.merged_program
+        ridge = base.group("ridge")
+        pyr = base.group("pyr")
+        ridge_c = compacted.group("ridge_x3")
+        record = merged.group("pyrridge")
+        base_counts = base.access_counts()
+        comp_counts = compacted.access_counts()
+        merge_counts = merged.access_counts()
+        lines = [
+            "(a) basic group compaction:",
+            f"    ridge    {ridge.words:>9,} words x {ridge.bitwidth:>2} bit"
+            f"  ->  ridge_x3 {ridge_c.words:>9,} words x {ridge_c.bitwidth:>2} bit",
+            f"    accesses {base_counts['ridge'].total:>12,.0f}"
+            f"  ->  {comp_counts['ridge_x3'].total:>12,.0f}"
+            "   (reads coalesce; writes turn read-modify-write)",
+            "",
+            "(b) basic group merging:",
+            f"    pyr      {pyr.words:>9,} words x {pyr.bitwidth:>2} bit   +"
+            f"  ridge {ridge.words:>9,} words x {ridge.bitwidth:>2} bit",
+            f"    ->  pyrridge {record.words:>9,} words x {record.bitwidth:>2} bit"
+            " (record: value + class)",
+            f"    accesses {base_counts['pyr'].total + base_counts['ridge'].total:>12,.0f}"
+            f"  ->  {merge_counts['pyrridge'].total:>12,.0f}"
+            "   (co-indexed pairs collapse into record accesses)",
+        ]
+        return "\n".join(lines)
+
+    def figure3(self) -> str:
+        """The memory hierarchy layering for image (Fig. 3)."""
+        pattern = find_stencil(self.base_program, "encode_l0", "image")
+        assert pattern is not None
+        image = self.base_program.array("image")
+        row_length = image.shape[1]
+        window = pattern.window_words
+        buffer_words = pattern.rowbuffer_words(row_length)
+        lines = [
+            describe_stencil(pattern, row_length),
+            "",
+            "  Layer 2          Layer 1            Layer 0        Data-paths",
+            f"  image         -> yhier           -> ylocal      -> predict",
+            f"  {image.words:,} x8     {buffer_words:,} x8 (2-port)"
+            f"   {window} registers",
+            f"  off-chip DRAM    on-chip SRAM       foreground",
+            "",
+            f"  feed rates: image->yhier {pattern.rowbuffer_feed_per_iteration():.2f}"
+            f" w/iter, yhier->ylocal {pattern.window_feed_per_iteration():.2f} w/iter,"
+            f" stencil {pattern.reads_per_iteration:.2f} reads/iter",
+        ]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def render_all(self) -> str:
+        """All four tables as text (the EXPERIMENTS.md payload)."""
+        sections = [render_cost_table(self.table1(), "Table 1: basic group structuring")]
+        sections.append(
+            render_cost_table(self.table2(), "Table 2: memory hierarchy decision")
+        )
+        full = self.constraints.cycle_budget
+        rows3 = [
+            CostReport(
+                label=f"{extra:>11,.0f} ({extra / full:5.1%})",
+                memories=report.memories,
+                cycles_used=report.cycles_used,
+                cycle_budget=report.cycle_budget,
+            )
+            for extra, report in self.table3()
+        ]
+        sections.append(
+            render_cost_table(
+                rows3,
+                "Table 3: extra cycles for the datapath vs. cost",
+                label_header="Extra cycles",
+            )
+        )
+        rows4 = [
+            CostReport(
+                label=f"{count} on-chip memories",
+                memories=report.memories,
+                cycles_used=report.cycles_used,
+                cycle_budget=report.cycle_budget,
+            )
+            for count, report in self.table4()
+        ]
+        sections.append(
+            render_cost_table(rows4, "Table 4: memory allocation exploration")
+        )
+        return "\n\n".join(sections)

@@ -1,0 +1,52 @@
+"""Pareto-front utilities over cost reports.
+
+The exploration produces many (area, power) points; designers pick from
+the non-dominated set.  Dominance here is over (on-chip area, total
+power): lower is better on both axes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..costs.report import CostReport
+
+
+def dominates(first: CostReport, second: CostReport) -> bool:
+    """Whether ``first`` is at least as good on both axes and better on one."""
+    not_worse = (
+        first.onchip_area_mm2 <= second.onchip_area_mm2
+        and first.total_power_mw <= second.total_power_mw
+    )
+    better = (
+        first.onchip_area_mm2 < second.onchip_area_mm2
+        or first.total_power_mw < second.total_power_mw
+    )
+    return not_worse and better
+
+
+def pareto_front(reports: Sequence[CostReport]) -> List[CostReport]:
+    """The non-dominated subset, sorted by area."""
+    front = [
+        candidate
+        for candidate in reports
+        if not any(dominates(other, candidate) for other in reports)
+    ]
+    return sorted(front, key=lambda r: (r.onchip_area_mm2, r.total_power_mw))
+
+
+def knee_point(front: Sequence[CostReport]) -> CostReport:
+    """The balanced choice: minimal normalized distance to the ideal."""
+    if not front:
+        raise ValueError("empty Pareto front")
+    areas = [r.onchip_area_mm2 for r in front]
+    powers = [r.total_power_mw for r in front]
+    area_span = max(areas) - min(areas) or 1.0
+    power_span = max(powers) - min(powers) or 1.0
+
+    def distance(report: CostReport) -> float:
+        da = (report.onchip_area_mm2 - min(areas)) / area_span
+        dp = (report.total_power_mw - min(powers)) / power_span
+        return da * da + dp * dp
+
+    return min(front, key=distance)

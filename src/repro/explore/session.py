@@ -1,0 +1,115 @@
+"""The system-level exploration session (the paper's contribution).
+
+An :class:`ExplorationSession` wraps the physical-memory-management
+feedback oracle with bookkeeping a designer needs while walking the
+stepwise methodology of Figure 1: every alternative evaluated is logged
+with its step name, cost report and wall-clock evaluation time, so the
+exploration tree can be rendered afterwards (our Figure 1 regeneration).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..costs.report import CostReport
+from ..dtse.pipeline import PmmResult, run_pmm
+from ..ir.program import Program
+from ..memlib.library import MemoryLibrary, default_library
+
+
+@dataclass
+class Evaluation:
+    """One evaluated design alternative."""
+
+    step: str
+    label: str
+    program_name: str
+    report: CostReport
+    seconds: float
+    chosen: bool = False
+
+
+@dataclass
+class ExplorationSession:
+    """Feedback-driven exploration with a decision log."""
+
+    cycle_budget: float
+    frame_time_s: float
+    library: MemoryLibrary = field(default_factory=default_library)
+    evaluations: List[Evaluation] = field(default_factory=list)
+
+    def evaluate(
+        self,
+        program: Program,
+        step: str,
+        label: str,
+        cycle_budget: Optional[float] = None,
+        n_onchip: Optional[int] = None,
+    ) -> PmmResult:
+        """Run the feedback oracle and log the outcome."""
+        start = time.perf_counter()
+        result = run_pmm(
+            program,
+            cycle_budget if cycle_budget is not None else self.cycle_budget,
+            self.frame_time_s,
+            library=self.library,
+            n_onchip=n_onchip,
+            label=label,
+        )
+        elapsed = time.perf_counter() - start
+        self.evaluations.append(
+            Evaluation(
+                step=step,
+                label=label,
+                program_name=program.name,
+                report=result.report,
+                seconds=elapsed,
+            )
+        )
+        return result
+
+    def choose(self, step: str, label: str) -> None:
+        """Mark one alternative of a step as the decision taken."""
+        for evaluation in self.evaluations:
+            if evaluation.step == step and evaluation.label == label:
+                evaluation.chosen = True
+                return
+        raise KeyError(f"no evaluation {label!r} in step {step!r}")
+
+    def alternatives(self, step: str) -> List[Evaluation]:
+        return [e for e in self.evaluations if e.step == step]
+
+    def steps(self) -> List[str]:
+        seen: List[str] = []
+        for evaluation in self.evaluations:
+            if evaluation.step not in seen:
+                seen.append(evaluation.step)
+        return seen
+
+    def render_tree(self) -> str:
+        """The exploration tree: our regeneration of the paper's Fig. 1.
+
+        Every methodology step is one layer; the evaluated alternatives
+        fan out below it with their cost feedback; the chosen branch is
+        marked — the 'Estimated A/T/P to guide decision' loop made
+        concrete.
+        """
+        lines = ["Pruned System Specification", "        |"]
+        for step in self.steps():
+            alternatives = self.alternatives(step)
+            lines.append(f"  [{step}]  ({len(alternatives)} alternatives evaluated)")
+            for evaluation in alternatives:
+                marker = "=>" if evaluation.chosen else "  "
+                report = evaluation.report
+                lines.append(
+                    f"   {marker} {evaluation.label:<28}"
+                    f" {report.onchip_area_mm2:7.1f} mm2"
+                    f" {report.onchip_power_mw:7.1f} mW on-chip"
+                    f" {report.offchip_power_mw:7.1f} mW off-chip"
+                    f"   [{evaluation.seconds:.1f}s]"
+                )
+            lines.append("        |")
+        lines.append("  [Physical memory management]  ->  accurate A/T/P")
+        return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Application specification IR for memory exploration.
+
+Public names::
+
+    ArrayDecl, BasicGroup            -- data declarations
+    AffineExpr, index_tuple          -- index expressions
+    Access, Statement, LoopNest      -- loop structure
+    Program, AccessCounts            -- the whole specification
+    ProgramBuilder                   -- fluent construction
+    validate_program, require_valid  -- semantic checks
+    prune, PruneResult               -- the pruning step
+    READ, WRITE, AccessKind          -- access kinds
+"""
+
+from .arrays import ArrayDecl, BasicGroup
+from .builder import NestBuilder, ProgramBuilder
+from .expr import AffineExpr, index_tuple
+from .loops import Access, LoopNest, Statement
+from .program import AccessCounts, Program
+from .pruning import PruneResult, prune
+from .types import READ, WRITE, AccessKind, IRError, TransformError
+from .validate import Issue, require_valid, validate_program
+
+__all__ = [
+    "READ",
+    "WRITE",
+    "Access",
+    "AccessCounts",
+    "AccessKind",
+    "AffineExpr",
+    "ArrayDecl",
+    "BasicGroup",
+    "IRError",
+    "Issue",
+    "LoopNest",
+    "NestBuilder",
+    "Program",
+    "ProgramBuilder",
+    "PruneResult",
+    "Statement",
+    "TransformError",
+    "index_tuple",
+    "prune",
+    "require_valid",
+    "validate_program",
+]

@@ -1,0 +1,150 @@
+"""Array declarations and basic groups.
+
+An :class:`ArrayDecl` is a multidimensional signal in the application
+specification.  A :class:`BasicGroup` is the unit of storage exploration
+(paper §4.1): a non-overlapping partition of the application data that the
+tools treat as an atomic whole.  Initially every array is one basic group;
+the *basic group structuring* step (paper §4.3) may compact a group
+(fewer, wider words) or merge two groups into an array of records.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from .types import IRError
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A multidimensional array signal.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the program.
+    shape:
+        Extent of every dimension (manifest, compile-time constants).
+    bitwidth:
+        Width of one element in bits.
+    description:
+        Free-form documentation shown in reports.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    bitwidth: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IRError("array name must be non-empty")
+        if not self.shape or any(extent <= 0 for extent in self.shape):
+            raise IRError(f"array {self.name!r} has invalid shape {self.shape}")
+        if self.bitwidth <= 0:
+            raise IRError(f"array {self.name!r} has invalid bitwidth {self.bitwidth}")
+
+    @property
+    def words(self) -> int:
+        """Number of elements."""
+        return math.prod(self.shape)
+
+    @property
+    def bits(self) -> int:
+        """Total storage footprint in bits."""
+        return self.words * self.bitwidth
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+
+@dataclass(frozen=True)
+class BasicGroup:
+    """The atomic unit of storage assignment.
+
+    A basic group has a word count and bitwidth that may differ from the
+    arrays it was derived from (after compaction or merging).  ``origin``
+    records the array names folded into the group, ``structure`` records
+    how (``"plain"``, ``"compacted"`` or ``"merged"``).
+    """
+
+    name: str
+    words: int
+    bitwidth: int
+    origin: Tuple[str, ...] = ()
+    structure: str = "plain"
+    description: str = ""
+    #: Number of words packed per physical word (compaction factor).
+    packing: int = 1
+
+    def __post_init__(self) -> None:
+        if self.words <= 0:
+            raise IRError(f"basic group {self.name!r} has invalid words {self.words}")
+        if self.bitwidth <= 0:
+            raise IRError(
+                f"basic group {self.name!r} has invalid bitwidth {self.bitwidth}"
+            )
+        if self.packing < 1:
+            raise IRError(f"basic group {self.name!r} has invalid packing")
+        if not self.origin:
+            object.__setattr__(self, "origin", (self.name,))
+
+    @property
+    def bits(self) -> int:
+        return self.words * self.bitwidth
+
+    @staticmethod
+    def from_array(array: ArrayDecl) -> "BasicGroup":
+        """The default one-group-per-array mapping."""
+        return BasicGroup(
+            name=array.name,
+            words=array.words,
+            bitwidth=array.bitwidth,
+            origin=(array.name,),
+            structure="plain",
+            description=array.description,
+        )
+
+    def compacted(self, factor: int, name: Optional[str] = None) -> "BasicGroup":
+        """Pack ``factor`` consecutive words into one wider word.
+
+        Basic group *compaction* (paper Fig. 2a): fewer words, larger
+        bitwidth.  Word count is rounded up when not divisible.
+        """
+        if factor < 2:
+            raise IRError("compaction factor must be >= 2")
+        return BasicGroup(
+            name=name or f"{self.name}_x{factor}",
+            words=-(-self.words // factor),
+            bitwidth=self.bitwidth * factor,
+            origin=self.origin,
+            structure="compacted",
+            description=f"{self.name} compacted by {factor}",
+            packing=self.packing * factor,
+        )
+
+    def merged_with(self, other: "BasicGroup", name: Optional[str] = None) -> "BasicGroup":
+        """Merge with ``other`` into an array of records (paper Fig. 2b).
+
+        Requires equal word counts (the groups are indexed together); the
+        record width is the sum of the member widths.
+        """
+        if self.words != other.words:
+            raise IRError(
+                f"cannot merge {self.name!r} ({self.words} words) with "
+                f"{other.name!r} ({other.words} words): word counts differ"
+            )
+        return BasicGroup(
+            name=name or f"{self.name}_{other.name}",
+            words=self.words,
+            bitwidth=self.bitwidth + other.bitwidth,
+            origin=self.origin + other.origin,
+            structure="merged",
+            description=f"merge of {self.name} and {other.name}",
+        )
+
+    def renamed(self, name: str) -> "BasicGroup":
+        return replace(self, name=name)

@@ -1,0 +1,203 @@
+"""Fluent construction of :class:`~repro.ir.program.Program` objects.
+
+The builder mirrors how a designer writes the pruned specification: declare
+the arrays, then describe every loop nest with its reads, writes and
+dependences.
+
+>>> builder = ProgramBuilder("demo")
+>>> builder.array("a", shape=(16,), bitwidth=8)
+>>> nest = builder.nest("scan", iterators=("i",), trips=(16,))
+>>> src = nest.read("a", index=("i",))
+>>> dst = nest.write("a", index=("i",))
+>>> nest.depends(src, dst)
+>>> program = builder.build()
+>>> program.total_accesses()
+32.0
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .arrays import ArrayDecl, BasicGroup
+from .expr import AffineExpr, index_tuple
+from .loops import Access, LoopNest, Statement
+from .program import Program
+from .types import READ, WRITE, AccessKind, IRError
+
+
+class NestBuilder:
+    """Accumulates the body of one loop nest."""
+
+    def __init__(
+        self,
+        name: str,
+        iterators: Tuple[str, ...],
+        trips: Tuple[int, ...],
+        probability: float,
+        description: str,
+    ) -> None:
+        self.name = name
+        self.iterators = iterators
+        self.trips = trips
+        self.probability = probability
+        self.description = description
+        self._accesses: List[Access] = []
+        self._dependences: List[Tuple[str, str]] = []
+        self._label_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _auto_label(self, group: str, kind: AccessKind) -> str:
+        suffix = "r" if kind is READ else "w"
+        key = f"{group}_{suffix}"
+        number = self._label_counts.get(key, 0)
+        self._label_counts[key] = number + 1
+        return f"{key}{number}"
+
+    def _add(
+        self,
+        group: str,
+        kind: AccessKind,
+        index: Optional[Sequence] = None,
+        prob: float = 1.0,
+        label: Optional[str] = None,
+        after: Sequence[str] = (),
+        pair: Optional[str] = None,
+        mult: float = 1.0,
+        cls: Optional[str] = None,
+        rows: int = 1,
+        foreground: bool = False,
+    ) -> str:
+        final_label = label or self._auto_label(group, kind)
+        coerced = index_tuple(*index) if index is not None else None
+        self._accesses.append(
+            Access(
+                group=group,
+                kind=kind,
+                label=final_label,
+                index=coerced,
+                probability=prob,
+                multiplicity=mult,
+                pair_key=pair,
+                exclusive_class=cls,
+                dram_rows=rows,
+                foreground=foreground,
+            )
+        )
+        for producer in after:
+            self._dependences.append((producer, final_label))
+        return final_label
+
+    def read(
+        self,
+        group: str,
+        index: Optional[Sequence] = None,
+        prob: float = 1.0,
+        label: Optional[str] = None,
+        after: Sequence[str] = (),
+        pair: Optional[str] = None,
+        mult: float = 1.0,
+        cls: Optional[str] = None,
+        rows: int = 1,
+        foreground: bool = False,
+    ) -> str:
+        """Record a read access; returns its label."""
+        return self._add(
+            group, READ, index, prob, label, after, pair, mult, cls, rows, foreground
+        )
+
+    def write(
+        self,
+        group: str,
+        index: Optional[Sequence] = None,
+        prob: float = 1.0,
+        label: Optional[str] = None,
+        after: Sequence[str] = (),
+        pair: Optional[str] = None,
+        mult: float = 1.0,
+        cls: Optional[str] = None,
+        rows: int = 1,
+        foreground: bool = False,
+    ) -> str:
+        """Record a write access; returns its label."""
+        return self._add(
+            group, WRITE, index, prob, label, after, pair, mult, cls, rows, foreground
+        )
+
+    def depends(self, producer: str, consumer: str) -> None:
+        """Add a dependence edge: ``consumer`` must follow ``producer``."""
+        self._dependences.append((producer, consumer))
+
+    def chain(self, *labels: str) -> None:
+        """Add dependences forming a chain through ``labels``."""
+        for producer, consumer in zip(labels, labels[1:]):
+            self._dependences.append((producer, consumer))
+
+    def finish(self) -> LoopNest:
+        statement = Statement(label=f"{self.name}_body", accesses=tuple(self._accesses))
+        return LoopNest(
+            name=self.name,
+            iterators=self.iterators,
+            trip_counts=self.trips,
+            body=(statement,),
+            dependences=frozenset(self._dependences),
+            probability=self.probability,
+            description=self.description,
+        )
+
+
+class ProgramBuilder:
+    """Top-level builder: arrays first, then nests, then :meth:`build`."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._arrays: List[ArrayDecl] = []
+        self._nests: List[NestBuilder] = []
+        self._extra_groups: List[BasicGroup] = []
+
+    def array(
+        self,
+        name: str,
+        shape: Sequence[int],
+        bitwidth: int,
+        description: str = "",
+    ) -> ArrayDecl:
+        """Declare an array; it becomes one basic group by default."""
+        decl = ArrayDecl(
+            name=name, shape=tuple(shape), bitwidth=bitwidth, description=description
+        )
+        self._arrays.append(decl)
+        return decl
+
+    def nest(
+        self,
+        name: str,
+        iterators: Sequence[str],
+        trips: Sequence[int],
+        probability: float = 1.0,
+        description: str = "",
+    ) -> NestBuilder:
+        """Open a loop nest; populate it through the returned builder."""
+        nest_builder = NestBuilder(
+            name=name,
+            iterators=tuple(iterators),
+            trips=tuple(trips),
+            probability=probability,
+            description=description,
+        )
+        self._nests.append(nest_builder)
+        return nest_builder
+
+    def build(self) -> Program:
+        """Assemble and validate the program."""
+        if not self._arrays:
+            raise IRError(f"program {self.name!r} declares no arrays")
+        groups = tuple(BasicGroup.from_array(array) for array in self._arrays)
+        return Program(
+            name=self.name,
+            arrays=tuple(self._arrays),
+            groups=groups + tuple(self._extra_groups),
+            nests=tuple(nest.finish() for nest in self._nests),
+            description=self.description,
+        )

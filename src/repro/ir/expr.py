@@ -1,0 +1,203 @@
+"""Affine index expressions over loop iterators.
+
+Accesses in the IR may carry affine index functions (one expression per
+array dimension).  These are used by the data-reuse analysis to recognize
+stencil/window patterns, and by the dependence checks.  Expressions are
+immutable and hashable.
+
+>>> e = AffineExpr.parse("2*y + x - 1")
+>>> e.evaluate({"x": 3, "y": 5})
+12
+>>> (e + 1).offset
+0
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+from .types import IRError
+
+_TERM_RE = re.compile(
+    r"""
+    (?P<sign>[+-]?)\s*
+    (?:
+        (?P<coef>\d+)\s*\*\s*(?P<var>[A-Za-z_]\w*)   # 2*x
+      | (?P<var2>[A-Za-z_]\w*)                        # x
+      | (?P<const>\d+)                                # 3
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """An affine expression ``sum(coef_i * iterator_i) + offset``.
+
+    ``terms`` is stored as a sorted tuple of (iterator, coefficient) pairs
+    so that equal expressions hash equally.
+    """
+
+    terms: Tuple[Tuple[str, int], ...] = field(default=())
+    offset: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def const(value: int) -> "AffineExpr":
+        """A constant expression."""
+        return AffineExpr((), int(value))
+
+    @staticmethod
+    def var(name: str, coefficient: int = 1) -> "AffineExpr":
+        """A single-iterator expression ``coefficient * name``."""
+        if coefficient == 0:
+            return AffineExpr.const(0)
+        return AffineExpr(((name, int(coefficient)),), 0)
+
+    @staticmethod
+    def from_terms(terms: Mapping[str, int], offset: int = 0) -> "AffineExpr":
+        """Build from a mapping of iterator name to coefficient."""
+        filtered = tuple(sorted((v, c) for v, c in terms.items() if c != 0))
+        return AffineExpr(filtered, int(offset))
+
+    @staticmethod
+    def parse(text: str) -> "AffineExpr":
+        """Parse strings like ``"2*y + x - 1"`` into an expression."""
+        stripped = text.replace(" ", "")
+        if not stripped:
+            raise IRError("empty affine expression")
+        terms: Dict[str, int] = {}
+        offset = 0
+        pos = 0
+        while pos < len(stripped):
+            match = _TERM_RE.match(stripped, pos)
+            if match is None or match.end() == pos:
+                raise IRError(f"cannot parse affine expression {text!r} at {pos}")
+            sign = -1 if match.group("sign") == "-" else 1
+            if match.group("var") is not None:
+                name = match.group("var")
+                terms[name] = terms.get(name, 0) + sign * int(match.group("coef"))
+            elif match.group("var2") is not None:
+                name = match.group("var2")
+                terms[name] = terms.get(name, 0) + sign
+            else:
+                offset += sign * int(match.group("const"))
+            pos = match.end()
+        return AffineExpr.from_terms(terms, offset)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    @property
+    def iterators(self) -> Tuple[str, ...]:
+        """Iterator names appearing with a non-zero coefficient."""
+        return tuple(name for name, _ in self.terms)
+
+    def coefficient(self, iterator: str) -> int:
+        """The coefficient of ``iterator`` (0 if absent)."""
+        for name, coef in self.terms:
+            if name == iterator:
+                return coef
+        return 0
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate with iterator values from ``env``."""
+        total = self.offset
+        for name, coef in self.terms:
+            if name not in env:
+                raise IRError(f"iterator {name!r} not bound in environment")
+            total += coef * env[name]
+        return total
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def _as_dict(self) -> Dict[str, int]:
+        return dict(self.terms)
+
+    def __add__(self, other: "AffineExpr | int") -> "AffineExpr":
+        if isinstance(other, int):
+            return AffineExpr(self.terms, self.offset + other)
+        merged = self._as_dict()
+        for name, coef in other.terms:
+            merged[name] = merged.get(name, 0) + coef
+        return AffineExpr.from_terms(merged, self.offset + other.offset)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr.from_terms(
+            {name: -coef for name, coef in self.terms}, -self.offset
+        )
+
+    def __sub__(self, other: "AffineExpr | int") -> "AffineExpr":
+        if isinstance(other, int):
+            return self + (-other)
+        return self + (-other)
+
+    def __mul__(self, scalar: int) -> "AffineExpr":
+        if not isinstance(scalar, int):
+            raise TypeError("affine expressions only support integer scaling")
+        return AffineExpr.from_terms(
+            {name: coef * scalar for name, coef in self.terms},
+            self.offset * scalar,
+        )
+
+    __rmul__ = __mul__
+
+    def substitute(self, env: Mapping[str, "AffineExpr | int"]) -> "AffineExpr":
+        """Replace iterators with other affine expressions."""
+        result = AffineExpr.const(self.offset)
+        for name, coef in self.terms:
+            replacement = env.get(name)
+            if replacement is None:
+                result = result + AffineExpr.var(name, coef)
+            elif isinstance(replacement, int):
+                result = result + coef * replacement
+            else:
+                result = result + replacement * coef
+        return result
+
+    def __str__(self) -> str:
+        parts = []
+        for name, coef in self.terms:
+            if coef == 1:
+                parts.append(f"+{name}")
+            elif coef == -1:
+                parts.append(f"-{name}")
+            else:
+                parts.append(f"{coef:+d}*{name}")
+        if self.offset or not parts:
+            parts.append(f"{self.offset:+d}")
+        text = "".join(parts)
+        return text[1:] if text.startswith("+") else text
+
+
+def index_tuple(*exprs: "AffineExpr | int | str") -> Tuple[AffineExpr, ...]:
+    """Coerce a mixed argument list into a tuple of :class:`AffineExpr`.
+
+    Accepts ints (constants), strings (parsed) and ready expressions:
+
+    >>> index_tuple("y", "x+1", 0)
+    (AffineExpr(terms=(('y', 1),), offset=0), AffineExpr(terms=(('x', 1),), offset=1), AffineExpr(terms=(), offset=0))
+    """
+    coerced = []
+    for expr in exprs:
+        if isinstance(expr, AffineExpr):
+            coerced.append(expr)
+        elif isinstance(expr, int):
+            coerced.append(AffineExpr.const(expr))
+        elif isinstance(expr, str):
+            coerced.append(AffineExpr.parse(expr))
+        else:
+            raise TypeError(f"cannot coerce {expr!r} to an affine expression")
+    return tuple(coerced)

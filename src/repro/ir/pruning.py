@@ -1,0 +1,100 @@
+"""The pruning step (paper §4.1).
+
+Pruning concentrates the specification on the parts relevant for the
+memory organization: scalar-level processing and loops which hardly
+contribute to the total cycle count are hidden from the exploration.
+Here we prune on measurable criteria:
+
+* loop nests whose memory traffic is below a threshold fraction of the
+  program total are dropped;
+* basic groups smaller than a word-count threshold are considered
+  *foreground* (scalar/register) data and dropped together with their
+  accesses;
+* statements with only datapath work (no accesses) are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .program import Program
+
+
+@dataclass(frozen=True)
+class PruneResult:
+    """Outcome of pruning, with an audit trail."""
+
+    program: Program
+    removed_nests: Tuple[str, ...]
+    foreground_groups: Tuple[str, ...]
+    retained_access_fraction: float
+
+    def report(self) -> str:
+        lines = [
+            f"Pruned {self.program.name!r}:",
+            f"  retained {self.retained_access_fraction:.1%} of memory accesses",
+        ]
+        if self.removed_nests:
+            lines.append(f"  removed nests: {', '.join(self.removed_nests)}")
+        if self.foreground_groups:
+            lines.append(
+                "  foreground (scalar-level) groups: "
+                + ", ".join(self.foreground_groups)
+            )
+        return "\n".join(lines)
+
+
+def prune(
+    program: Program,
+    nest_traffic_threshold: float = 0.001,
+    foreground_words: int = 16,
+) -> PruneResult:
+    """Prune ``program`` for memory exploration.
+
+    Parameters
+    ----------
+    nest_traffic_threshold:
+        Nests contributing less than this fraction of the total access
+        count are removed.
+    foreground_words:
+        Basic groups with at most this many words are treated at the
+        scalar level (kept in registers / the datapath) and removed from
+        the background-memory specification.
+    """
+    total = program.total_accesses()
+    foreground = tuple(
+        group.name for group in program.groups if group.words <= foreground_words
+    )
+    foreground_set = set(foreground)
+
+    def drop_foreground(access):
+        return None if access.group in foreground_set else access
+
+    stripped = program.map_accesses(drop_foreground)
+
+    kept_nests = []
+    removed = []
+    for nest in stripped.nests:
+        traffic = sum(
+            nest.iterations * access.probability for access in nest.iter_accesses()
+        )
+        if total > 0 and traffic < nest_traffic_threshold * total:
+            removed.append(nest.name)
+        else:
+            kept_nests.append(nest)
+
+    kept_groups = [
+        group for group in stripped.groups if group.name not in foreground_set
+    ]
+    pruned = stripped.with_nests(kept_nests).with_groups(kept_groups)
+    pruned = pruned.renamed(
+        program.name, description=f"{program.description} (pruned)"
+    )
+    retained = pruned.total_accesses() / total if total > 0 else 1.0
+    return PruneResult(
+        program=pruned,
+        removed_nests=tuple(removed),
+        foreground_groups=foreground,
+        retained_access_fraction=retained,
+    )

@@ -1,0 +1,41 @@
+"""Small value types shared across the IR.
+
+The IR describes a *pruned* application specification in the style used by
+the DTSE physical memory management tools: multidimensional arrays
+(grouped into *basic groups*), manifest loop nests, and the memory
+accesses performed inside each loop body.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccessKind(enum.Enum):
+    """Direction of a memory access."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_read(self) -> bool:
+        return self is AccessKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessKind.WRITE
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+READ = AccessKind.READ
+WRITE = AccessKind.WRITE
+
+
+class IRError(ValueError):
+    """Raised when a specification is structurally invalid."""
+
+
+class TransformError(ValueError):
+    """Raised when a program transformation cannot be applied."""

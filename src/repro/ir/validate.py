@@ -1,0 +1,138 @@
+"""Semantic validation of programs.
+
+The dataclass constructors already enforce structural invariants
+(unique names, acyclic dependences, known basic groups).  This module
+adds the semantic checks a front-end would perform: index ranks, iterator
+scoping and bounds.  Checks produce :class:`Issue` records; callers decide
+whether warnings are fatal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .program import Program
+from .types import IRError
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding."""
+
+    severity: str
+    location: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.location}: {self.message}"
+
+
+def validate_program(program: Program) -> List[Issue]:
+    """Run all semantic checks; returns the list of findings."""
+    issues: List[Issue] = []
+    issues.extend(_check_index_ranks(program))
+    issues.extend(_check_iterator_scope(program))
+    issues.extend(_check_index_bounds(program))
+    issues.extend(_check_untouched_groups(program))
+    return issues
+
+
+def require_valid(program: Program) -> None:
+    """Raise :class:`IRError` when any error-severity issue exists."""
+    errors = [issue for issue in validate_program(program) if issue.severity == ERROR]
+    if errors:
+        summary = "; ".join(str(issue) for issue in errors)
+        raise IRError(f"program {program.name!r} is invalid: {summary}")
+
+
+def _check_index_ranks(program: Program) -> List[Issue]:
+    issues = []
+    array_rank = {array.name: array.rank for array in program.arrays}
+    for nest in program.nests:
+        for access in nest.iter_accesses():
+            if access.index is None:
+                continue
+            rank = array_rank.get(access.group)
+            if rank is None:
+                # Access targets a derived group (merged/compacted); the
+                # original rank no longer applies.
+                continue
+            if len(access.index) != rank:
+                issues.append(
+                    Issue(
+                        ERROR,
+                        f"{nest.name}/{access.label}",
+                        f"index rank {len(access.index)} does not match "
+                        f"array rank {rank}",
+                    )
+                )
+    return issues
+
+
+def _check_iterator_scope(program: Program) -> List[Issue]:
+    issues = []
+    for nest in program.nests:
+        declared = set(nest.iterators)
+        for access in nest.iter_accesses():
+            if access.index is None:
+                continue
+            for expr in access.index:
+                unknown = [name for name in expr.iterators if name not in declared]
+                if unknown:
+                    issues.append(
+                        Issue(
+                            ERROR,
+                            f"{nest.name}/{access.label}",
+                            f"index uses undeclared iterator(s) {unknown}",
+                        )
+                    )
+    return issues
+
+
+def _check_index_bounds(program: Program) -> List[Issue]:
+    """Check the affine index range against the array shape (corners only)."""
+    issues = []
+    shapes = {array.name: array.shape for array in program.arrays}
+    for nest in program.nests:
+        bounds = dict(zip(nest.iterators, nest.trip_counts))
+        for access in nest.iter_accesses():
+            if access.index is None or access.group not in shapes:
+                continue
+            shape = shapes[access.group]
+            for dim, expr in enumerate(access.index):
+                low, high = _expr_range(expr, bounds)
+                if low < 0 or high >= shape[dim]:
+                    issues.append(
+                        Issue(
+                            WARNING,
+                            f"{nest.name}/{access.label}",
+                            f"dimension {dim} spans [{low}, {high}] outside "
+                            f"[0, {shape[dim] - 1}] (boundary accesses?)",
+                        )
+                    )
+    return issues
+
+
+def _expr_range(expr, bounds) -> tuple:
+    """Min/max of an affine expression over the iteration box."""
+    low = high = expr.offset
+    for name, coef in expr.terms:
+        extent = bounds.get(name, 1) - 1
+        if coef >= 0:
+            high += coef * extent
+        else:
+            low += coef * extent
+    return low, high
+
+
+def _check_untouched_groups(program: Program) -> List[Issue]:
+    counts = program.access_counts()
+    return [
+        Issue(WARNING, group, "basic group is never accessed")
+        for group, count in counts.items()
+        if count.total == 0
+    ]

@@ -1,0 +1,30 @@
+"""Memory technology library: on-chip SRAM generator and off-chip DRAM.
+
+Public names::
+
+    MemoryModule, MemoryKind             -- module descriptors
+    OnChipGenerator, OnChipTechnology    -- parametric SRAM generator
+    OffChipLibrary, OffChipConfig        -- EDO DRAM selection
+    DramPart, EDO_DRAM_PARTS             -- the datasheet table
+    MemoryLibrary, default_library       -- combined library + policy
+"""
+
+from .library import MemoryLibrary, default_library
+from .module import MemoryKind, MemoryModule
+from .offchip import OffChipConfig, OffChipLibrary
+from .onchip import OnChipGenerator, OnChipTechnology, RegisterFileTechnology
+from .tables import EDO_DRAM_PARTS, DramPart
+
+__all__ = [
+    "EDO_DRAM_PARTS",
+    "DramPart",
+    "MemoryKind",
+    "MemoryLibrary",
+    "MemoryModule",
+    "OffChipConfig",
+    "OffChipLibrary",
+    "OnChipGenerator",
+    "OnChipTechnology",
+    "RegisterFileTechnology",
+    "default_library",
+]

@@ -1,0 +1,94 @@
+"""Memory module descriptors.
+
+A :class:`MemoryModule` is one physical memory the allocator can
+instantiate: either an on-chip SRAM produced by the module-generator
+model, or an off-chip DRAM part from the datasheet table.  All cost
+evaluation downstream works exclusively on these descriptors, so swapping
+in a different technology library changes every number consistently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MemoryKind(enum.Enum):
+    """Where the memory lives."""
+
+    ONCHIP = "on-chip"
+    OFFCHIP = "off-chip"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class MemoryModule:
+    """One instantiable memory with its full cost sheet.
+
+    Attributes
+    ----------
+    name:
+        Identifier (part number for off-chip, generated name for on-chip).
+    kind:
+        On-chip SRAM or off-chip DRAM.
+    words, width:
+        Addressable words and word width in bits.
+    ports:
+        Number of independent read/write ports.
+    area_mm2:
+        Silicon area (0 for off-chip parts: they do not use die area).
+    read_energy_nj / write_energy_nj:
+        Energy per access, including address decoding and data buffering
+        (interconnect excluded, as in the paper).
+    static_mw:
+        Standby power drawn regardless of traffic.
+    cycle_ns:
+        Access cycle time; the inverse bounds the per-port access rate.
+    """
+
+    name: str
+    kind: MemoryKind
+    words: int
+    width: int
+    ports: int
+    area_mm2: float
+    read_energy_nj: float
+    write_energy_nj: float
+    static_mw: float
+    cycle_ns: float
+
+    def __post_init__(self) -> None:
+        if self.words <= 0 or self.width <= 0 or self.ports <= 0:
+            raise ValueError(f"memory {self.name!r} has non-positive geometry")
+        if self.cycle_ns <= 0:
+            raise ValueError(f"memory {self.name!r} has non-positive cycle time")
+
+    @property
+    def bits(self) -> int:
+        return self.words * self.width
+
+    @property
+    def max_access_rate_hz(self) -> float:
+        """Peak accesses per second across all ports."""
+        return self.ports * 1e9 / self.cycle_ns
+
+    def fits(self, words: int, width: int) -> bool:
+        """Whether a basic group of ``words`` x ``width`` fits."""
+        return self.words >= words and self.width >= width
+
+    def dynamic_power_mw(self, read_rate_hz: float, write_rate_hz: float) -> float:
+        """Dynamic power for the given access rates.
+
+        ``rate [1/s] * energy [nJ] = power [nW]``, converted to mW.
+        """
+        if read_rate_hz < 0 or write_rate_hz < 0:
+            raise ValueError("access rates must be non-negative")
+        nanowatts = (
+            read_rate_hz * self.read_energy_nj + write_rate_hz * self.write_energy_nj
+        )
+        return nanowatts * 1e-6
+
+    def total_power_mw(self, read_rate_hz: float, write_rate_hz: float) -> float:
+        return self.static_mw + self.dynamic_power_mw(read_rate_hz, write_rate_hz)

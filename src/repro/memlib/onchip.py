@@ -1,0 +1,158 @@
+"""On-chip SRAM module-generator model.
+
+The paper used a proprietary 0.7 µm memory module generator whose vendor
+supplied area and power estimation functions.  We substitute a parametric
+model with the standard shape of embedded-SRAM estimators (Mulder's area
+model; bitline-capacitance-driven energy):
+
+* **Area** grows with the bit plane ``(words + Ow) * (width + Ob)`` plus a
+  fixed per-instance overhead; every extra port replicates wordlines and
+  bitlines, adding a relative factor per port.
+* **Energy per access** grows sub-linearly with word count (bitline
+  length ~ sqrt(words) for a square plane) and nearly linearly with
+  width.  This sub-linearity is what makes splitting memories save power
+  (paper §4.6).
+* **Cycle time** grows slowly with size; small memories are fast, which
+  is what makes hierarchy layers performance-friendly (paper §4.4).
+
+All constants live in :class:`OnChipTechnology` so tests and users can
+swap technologies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .module import MemoryKind, MemoryModule
+
+
+@dataclass(frozen=True)
+class OnChipTechnology:
+    """Constants of the parametric SRAM generator (default: 0.7 µm-like)."""
+
+    name: str = "csram-0.7um"
+    #: Core area per bit for a single-port cell [mm^2].
+    area_per_bit_mm2: float = 3.0e-4
+    #: Periphery expressed as equivalent extra words (decoder rows).
+    word_overhead: float = 24.0
+    #: Periphery expressed as equivalent extra bits (sense amps, drivers).
+    bit_overhead: float = 6.0
+    #: Fixed per-instance area: power ring, well spacing, routing keepout.
+    fixed_area_mm2: float = 0.9
+    #: Relative area added per port beyond the first.
+    port_area_factor: float = 0.65
+    #: Energy model: E = base + scale * sqrt(words) * (width/8)^width_exp.
+    #: Calibrated so the BTPC demonstrator's on-chip power lands in the
+    #: paper's 25-90 mW band (see EXPERIMENTS.md).
+    read_energy_base_nj: float = 0.35
+    read_energy_scale_nj: float = 0.045
+    width_exponent: float = 0.85
+    #: Writes drive full bitline swings: slightly costlier than reads.
+    write_energy_factor: float = 1.15
+    #: Extra energy per port beyond the first (longer bitlines/wordlines;
+    #: 0.7 um dual-port macros burn nearly twice the single-port energy).
+    port_energy_factor: float = 0.75
+    #: Leakage per kbit [mW].
+    static_mw_per_kbit: float = 0.002
+    #: Cycle time: t = base + scale * sqrt(words) [ns].
+    cycle_base_ns: float = 6.0
+    cycle_scale_ns: float = 0.12
+    #: Largest group the generator accepts (bigger goes off-chip).
+    max_words: int = 262144
+    max_width: int = 64
+
+    def area_mm2(self, words: int, width: int, ports: int) -> float:
+        """Mulder-style area estimate for one generated macro."""
+        plane = (
+            self.area_per_bit_mm2
+            * (words + self.word_overhead)
+            * (width + self.bit_overhead)
+        )
+        port_factor = 1.0 + self.port_area_factor * (ports - 1)
+        return plane * port_factor + self.fixed_area_mm2
+
+    def read_energy_nj(self, words: int, width: int, ports: int) -> float:
+        """Energy of one read access [nJ]."""
+        width_term = (width / 8.0) ** self.width_exponent
+        energy = (
+            self.read_energy_base_nj
+            + self.read_energy_scale_nj * math.sqrt(words) * width_term
+        )
+        return energy * (1.0 + self.port_energy_factor * (ports - 1))
+
+    def write_energy_nj(self, words: int, width: int, ports: int) -> float:
+        return self.read_energy_nj(words, width, ports) * self.write_energy_factor
+
+    def static_mw(self, words: int, width: int) -> float:
+        return self.static_mw_per_kbit * (words * width) / 1024.0
+
+    def cycle_ns(self, words: int) -> float:
+        return self.cycle_base_ns + self.cycle_scale_ns * math.sqrt(words)
+
+
+@dataclass(frozen=True)
+class RegisterFileTechnology:
+    """Flip-flop based register files for foreground hierarchy layers.
+
+    Register files live inside the datapath: their accesses consume no
+    storage cycles, but they do cost area (FF cells are larger than SRAM
+    cells) and energy per access.
+    """
+
+    area_per_bit_mm2: float = 0.012
+    fixed_area_mm2: float = 0.05
+    energy_per_access_nj: float = 0.30
+    static_mw_per_kbit: float = 0.01
+
+    def module(self, words: int, width: int) -> MemoryModule:
+        bits = words * width
+        return MemoryModule(
+            name=f"regfile_{words}x{width}",
+            kind=MemoryKind.ONCHIP,
+            words=words,
+            width=width,
+            ports=2,
+            area_mm2=self.fixed_area_mm2 + self.area_per_bit_mm2 * bits,
+            read_energy_nj=self.energy_per_access_nj,
+            write_energy_nj=self.energy_per_access_nj,
+            static_mw=self.static_mw_per_kbit * bits / 1024.0,
+            cycle_ns=1.0,
+        )
+
+
+class OnChipGenerator:
+    """Generates :class:`MemoryModule` descriptors from the technology."""
+
+    def __init__(self, technology: OnChipTechnology = OnChipTechnology()) -> None:
+        self.technology = technology
+
+    def supports(self, words: int, width: int) -> bool:
+        """Whether the generator can produce this geometry."""
+        return (
+            0 < words <= self.technology.max_words
+            and 0 < width <= self.technology.max_width
+        )
+
+    def generate(self, words: int, width: int, ports: int = 1) -> MemoryModule:
+        """Instantiate an SRAM macro of exactly the requested geometry."""
+        if not self.supports(words, width):
+            raise ValueError(
+                f"on-chip generator cannot produce {words}x{width} "
+                f"(limits {self.technology.max_words}x{self.technology.max_width})"
+            )
+        if ports < 1:
+            raise ValueError("ports must be >= 1")
+        tech = self.technology
+        return MemoryModule(
+            name=f"{tech.name}_{words}x{width}p{ports}",
+            kind=MemoryKind.ONCHIP,
+            words=words,
+            width=width,
+            ports=ports,
+            area_mm2=tech.area_mm2(words, width, ports),
+            read_energy_nj=tech.read_energy_nj(words, width, ports),
+            write_energy_nj=tech.write_energy_nj(words, width, ports),
+            static_mw=tech.static_mw(words, width),
+            cycle_ns=tech.cycle_ns(words),
+        )

@@ -1,0 +1,6 @@
+"""Profiling: instrumented arrays and access counters."""
+
+from .counters import AccessCounter
+from .instrument import InstrumentedArray, Profiler
+
+__all__ = ["AccessCounter", "InstrumentedArray", "Profiler"]

@@ -1,0 +1,84 @@
+"""Access counters gathered by instrumentation.
+
+The paper: *"Because this kind of profiling is so often necessary to do
+any memory-related optimizations, we have written software to
+automatically instrument the application to gather the access counts."*
+
+:class:`AccessCounter` is that software's ledger: read/write totals per
+array, mergeable across runs and scalable from a profiling-sized workload
+to the target workload (e.g. 128x128 profile image -> 1024x1024 design
+target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+@dataclass
+class AccessCounter:
+    """Mutable read/write tallies per array name."""
+
+    reads: Dict[str, float] = field(default_factory=dict)
+    writes: Dict[str, float] = field(default_factory=dict)
+
+    def record_read(self, name: str, count: float = 1) -> None:
+        self.reads[name] = self.reads.get(name, 0.0) + count
+
+    def record_write(self, name: str, count: float = 1) -> None:
+        self.writes[name] = self.writes.get(name, 0.0) + count
+
+    # ------------------------------------------------------------------
+    def read_count(self, name: str) -> float:
+        return self.reads.get(name, 0.0)
+
+    def write_count(self, name: str) -> float:
+        return self.writes.get(name, 0.0)
+
+    def total(self, name: str) -> float:
+        return self.read_count(name) + self.write_count(name)
+
+    def grand_total(self) -> float:
+        return sum(self.reads.values()) + sum(self.writes.values())
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(set(self.reads) | set(self.writes)))
+
+    def __iter__(self) -> Iterator[Tuple[str, float, float]]:
+        for name in self.names():
+            yield name, self.read_count(name), self.write_count(name)
+
+    # ------------------------------------------------------------------
+    def merged(self, other: "AccessCounter") -> "AccessCounter":
+        """A new counter with both tallies added."""
+        result = AccessCounter(dict(self.reads), dict(self.writes))
+        for name, count in other.reads.items():
+            result.record_read(name, count)
+        for name, count in other.writes.items():
+            result.record_write(name, count)
+        return result
+
+    def scaled(self, factor: float) -> "AccessCounter":
+        """A new counter with every tally multiplied by ``factor``.
+
+        Used to extrapolate a profile gathered on a small input to the
+        design-target input size.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return AccessCounter(
+            {name: count * factor for name, count in self.reads.items()},
+            {name: count * factor for name, count in self.writes.items()},
+        )
+
+    def report(self, title: str = "Access profile") -> str:
+        lines = [title]
+        lines.append(f"  {'array':<16}{'reads':>16}{'writes':>16}{'total':>16}")
+        for name, reads, writes in self:
+            lines.append(
+                f"  {name:<16}{reads:>16,.0f}{writes:>16,.0f}"
+                f"{reads + writes:>16,.0f}"
+            )
+        lines.append(f"  {'(all)':<16}{'':>16}{'':>16}{self.grand_total():>16,.0f}")
+        return "\n".join(lines)

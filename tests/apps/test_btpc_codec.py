@@ -1,0 +1,105 @@
+"""The BTPC codec: round-trips, error bounds, profiling structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.btpc import BtpcDecoder, BtpcEncoder, CodecConfig, images
+from repro.apps.btpc.pyramid import (
+    detail_count,
+    detail_positions,
+    neighbour_offsets,
+    num_levels,
+)
+from repro.profiling import AccessCounter
+
+
+@pytest.mark.parametrize(
+    "make",
+    [images.gradient, images.edges, lambda n: images.texture(n, 3),
+     lambda n: images.natural_like(n, 5), lambda n: images.checkerboard(n)],
+)
+def test_lossless_roundtrip(make):
+    image = make(32).astype(np.int32)
+    result = BtpcEncoder(CodecConfig()).encode(image)
+    decoded = BtpcDecoder(CodecConfig()).decode(result.payload, 32)
+    assert np.array_equal(decoded, image)
+
+
+@pytest.mark.parametrize("step", [2, 4, 8, 16])
+def test_lossy_error_bound(step):
+    image = images.natural_like(64, 11).astype(np.int32)
+    config = CodecConfig(quantizer_step=step)
+    result = BtpcEncoder(config).encode(image)
+    decoded = BtpcDecoder(config).decode(result.payload, 64)
+    assert np.abs(decoded - image).max() <= step // 2 + 1
+
+
+def test_lossy_rate_decreases_with_step():
+    image = images.natural_like(64, 12).astype(np.int32)
+    bits = [
+        BtpcEncoder(CodecConfig(quantizer_step=step)).encode(image).bits
+        for step in (1, 4, 16)
+    ]
+    assert bits[0] > bits[1] > bits[2]
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(deadline=None, max_examples=10)
+def test_roundtrip_random_images(seed):
+    rng = np.random.default_rng(seed)
+    image = rng.integers(0, 256, size=(16, 16), dtype=np.int32)
+    result = BtpcEncoder(CodecConfig()).encode(image)
+    decoded = BtpcDecoder(CodecConfig()).decode(result.payload, 16)
+    assert np.array_equal(decoded, image)
+
+
+def test_rejects_non_square():
+    with pytest.raises(ValueError):
+        BtpcEncoder(CodecConfig()).encode(np.zeros((16, 32), dtype=np.int32))
+
+
+def test_profiled_run_matches_plain_run():
+    image = images.edges(32).astype(np.int32)
+    plain = BtpcEncoder(CodecConfig(quantizer_step=4)).encode(image)
+    counter = AccessCounter()
+    profiled = BtpcEncoder(CodecConfig(quantizer_step=4), counter=counter).encode(image)
+    assert profiled.payload == plain.payload
+    assert counter.grand_total() > 0
+
+
+def test_phase_profiles_cover_known_phases():
+    counter = AccessCounter()
+    encoder = BtpcEncoder(CodecConfig(quantizer_step=4), counter=counter)
+    result = encoder.encode(images.natural_like(32, 2).astype(np.int32))
+    assert set(result.phase_profiles) == {
+        "load", "build", "base", "encode_up", "encode_l0",
+    }
+    load = result.phase_profiles["load"]
+    assert load.write_count("image") == 32 * 32
+    assert sum(result.coder_symbols["encode_l0"]) == detail_count((32, 32))
+
+
+# ----------------------------------------------------------------------
+# Pyramid geometry
+# ----------------------------------------------------------------------
+def test_num_levels():
+    assert num_levels(1024, 8) == 8
+    assert num_levels(32, 8) == 3
+    with pytest.raises(ValueError):
+        num_levels(4, 8)
+
+
+def test_detail_positions_cover_three_quarters():
+    positions = list(detail_positions((16, 16)))
+    assert len(positions) == detail_count((16, 16)) == 192
+    assert all((y % 2, x % 2) != (0, 0) for y, x, _ in positions)
+
+
+def test_neighbour_offsets_are_coarse():
+    for pixel_type in (0, 1, 2):
+        for dy, dx in neighbour_offsets(pixel_type):
+            # Offsets from an odd-parity position land on even-even.
+            assert (dy % 2, dx % 2) != (0, 0)
+    with pytest.raises(ValueError):
+        neighbour_offsets(3)

@@ -1,0 +1,93 @@
+"""The BTPC specification: the 18 basic groups and calibrated counts."""
+
+import pytest
+
+from repro.apps.btpc import (
+    BtpcConstraints,
+    build_btpc_program,
+    upper_detail_count,
+    upper_pyramid_words,
+)
+from repro.ir import validate_program
+
+
+def test_constraints_derivation(constraints):
+    assert constraints.pixels == 1 << 20
+    assert constraints.frame_time_s == pytest.approx(1.048576)
+    # "a total of 20 million" cycles (paper §4.5).
+    assert constraints.cycle_budget == 20_971_520
+    assert constraints.access_rate_hz(1 << 20) == pytest.approx(1e6)
+
+
+def test_geometry_helpers():
+    # 512^2 + 256^2 + ... + 8^2
+    assert upper_pyramid_words(1024) == sum((1024 >> k) ** 2 for k in range(1, 8))
+    assert upper_detail_count(1024) == sum(
+        3 * ((1024 >> k) // 2) ** 2 for k in range(1, 7)
+    )
+
+
+def test_eighteen_basic_groups(btpc_program):
+    assert len(btpc_program.groups) == 18
+    names = set(btpc_program.group_names)
+    assert {"image", "pyr", "ridge", "hleaf", "quant", "outbuf"} <= names
+    assert {f"hweight{k}" for k in range(6)} <= names
+    assert {f"htree{k}" for k in range(6)} <= names
+
+
+def test_paper_bitwidth_range(btpc_program):
+    widths = [group.bitwidth for group in btpc_program.groups]
+    assert min(widths) == 2  # ridge (paper §4.1)
+    assert max(widths) == 20  # the coder weights
+
+
+def test_pyr_ridge_coindexed(btpc_program):
+    pyr = btpc_program.group("pyr")
+    ridge = btpc_program.group("ridge")
+    assert pyr.words == ridge.words == upper_pyramid_words(1024)
+
+
+def test_image_is_a_megaword(btpc_program):
+    assert btpc_program.group("image").words == 1 << 20
+
+
+def test_manifest_counts(btpc_program):
+    counts = btpc_program.access_counts()
+    # Input load writes every pixel once.
+    assert counts["image"].writes >= 1 << 20
+    # Level-0 stencil: ~2.75 image reads per pixel.
+    per_pixel = counts["image"].reads / (1 << 20)
+    assert 2.0 < per_pixel < 4.0
+
+
+def test_data_dependent_counts_scale_with_profile(btpc_profile, btpc_program):
+    counts = btpc_program.access_counts()
+    total_hweight = sum(
+        counts[f"hweight{k}"].total for k in range(6)
+    )
+    # Per-detail hweight rate carried over from the profile.
+    profile_rate = sum(
+        btpc_profile.phases["encode_l0"].total(f"hweight{k}")
+        + btpc_profile.phases["encode_l0"].total(f"hweight_scan{k}")
+        for k in range(6)
+    ) / btpc_profile.detail_pixels("encode_l0")
+    spec_rate = total_hweight / (0.75 * (1 << 20) + upper_detail_count(1024))
+    assert spec_rate == pytest.approx(profile_rate, rel=0.5)
+
+
+def test_spec_passes_semantic_validation(btpc_program):
+    errors = [i for i in validate_program(btpc_program) if i.severity == "error"]
+    assert errors == []
+
+
+def test_profile_shares_sum_to_one(btpc_profile):
+    for phase in ("encode_l0", "encode_up"):
+        shares = [btpc_profile.coder_share(phase, k) for k in range(6)]
+        assert sum(shares) == pytest.approx(1.0)
+
+
+def test_pooled_per_use_positive(btpc_profile):
+    reads, writes = btpc_profile.pooled_per_use("encode_up", "hweight")
+    assert reads > 0 and writes > 0
+    scan_reads, _ = btpc_profile.pooled_per_use("encode_up", "hweight_scan")
+    assert scan_reads > 0

@@ -1,0 +1,82 @@
+"""FGK adaptive Huffman coder: round-trips and the sibling property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.btpc.bitio import BitReader, BitWriter
+from repro.apps.btpc.huffman import AdaptiveHuffman
+
+
+def _roundtrip(symbols, alphabet):
+    writer = BitWriter()
+    encoder = AdaptiveHuffman(alphabet)
+    for symbol in symbols:
+        encoder.encode(symbol, writer)
+    decoder = AdaptiveHuffman(alphabet)
+    reader = BitReader(writer.getvalue())
+    return [decoder.decode(reader) for _ in symbols]
+
+
+@given(st.lists(st.integers(0, 15), max_size=300))
+@settings(deadline=None)
+def test_roundtrip_small_alphabet(symbols):
+    assert _roundtrip(symbols, 16) == symbols
+
+
+@given(st.lists(st.integers(0, 511), max_size=150))
+@settings(deadline=None)
+def test_roundtrip_codec_alphabet(symbols):
+    assert _roundtrip(symbols, 512) == symbols
+
+
+@given(st.lists(st.integers(0, 7), min_size=1, max_size=400))
+@settings(deadline=None)
+def test_sibling_property_always_holds(symbols):
+    writer = BitWriter()
+    coder = AdaptiveHuffman(8)
+    for symbol in symbols:
+        coder.encode(symbol, writer)
+        coder.check_sibling_property()
+
+
+def test_skewed_source_compresses():
+    symbols = [0] * 2000 + [1] * 40 + [2] * 4
+    writer = BitWriter()
+    coder = AdaptiveHuffman(256)
+    for symbol in symbols:
+        coder.encode(symbol, writer)
+    assert writer.bits_written / len(symbols) < 2.0
+
+
+def test_rejects_out_of_alphabet():
+    coder = AdaptiveHuffman(8)
+    with pytest.raises(ValueError):
+        coder.encode(8, BitWriter())
+    with pytest.raises(ValueError):
+        AdaptiveHuffman(1)
+
+
+def test_access_hook_sees_traffic():
+    tallies = {}
+
+    def hook(kind, array, count):
+        tallies[(kind, array)] = tallies.get((kind, array), 0) + count
+
+    coder = AdaptiveHuffman(16, access_hook=hook)
+    writer = BitWriter()
+    for symbol in [3, 3, 5, 3, 7, 5]:
+        coder.encode(symbol, writer)
+    assert tallies[("read", "hleaf")] == 6
+    assert ("write", "hweight") in tallies
+    assert ("read", "hweight_scan") in tallies
+
+
+def test_bitio_roundtrip():
+    writer = BitWriter()
+    writer.write_bits(0b1011, 4)
+    writer.write_bits(0xABC, 12)
+    reader = BitReader(writer.getvalue())
+    assert reader.read_bits(4) == 0b1011
+    assert reader.read_bits(12) == 0xABC
+    with pytest.raises(EOFError):
+        BitReader(b"").read_bit()

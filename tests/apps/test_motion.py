@@ -1,0 +1,49 @@
+"""The motion estimation workload."""
+
+import pytest
+
+from repro.apps.motion import MotionConstraints, build_motion_program
+from repro.dtse import analyze_macp, run_pmm
+from repro.memlib import MemoryLibrary
+
+
+def test_spec_builds_and_validates():
+    program = build_motion_program()
+    assert set(program.group_names) == {"current", "reference", "vectors", "sad"}
+    counts = program.access_counts()
+    assert counts["reference"].reads == counts["current"].reads
+    # SAD accumulation is foreground: heavy writes, but see below.
+    assert counts["sad"].writes > 0
+
+
+def test_constraints_scale():
+    constraints = MotionConstraints()
+    assert constraints.blocks == 396
+    assert constraints.candidates == 81
+    assert constraints.cycle_budget == int(60e6 / 12.5)
+
+
+def test_macp_feasible():
+    constraints = MotionConstraints()
+    program = build_motion_program(constraints)
+    report = analyze_macp(program, constraints.cycle_budget)
+    assert report.feasible
+
+
+def test_pipeline_runs_both_policies():
+    constraints = MotionConstraints()
+    program = build_motion_program(constraints)
+    onchip = run_pmm(
+        program, constraints.cycle_budget, constraints.frame_time_s,
+        library=MemoryLibrary(offchip_word_threshold=65536),
+        label="frames on-chip",
+    ).report
+    offchip = run_pmm(
+        program, constraints.cycle_budget, constraints.frame_time_s,
+        library=MemoryLibrary(offchip_word_threshold=16384),
+        label="frames off-chip",
+    ).report
+    # Frames on-chip: huge macros; frames off-chip: tiny die, DRAM power.
+    assert onchip.onchip_area_mm2 > 10 * offchip.onchip_area_mm2
+    assert offchip.offchip_power_mw > 0
+    assert onchip.offchip_power_mw == 0

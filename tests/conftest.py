@@ -1,0 +1,34 @@
+"""Shared fixtures: profiles and studies are expensive, build them once."""
+
+import pytest
+
+from repro.apps.btpc import BtpcConstraints, build_btpc_program, profile_btpc
+from repro.explore import BtpcStudy
+
+
+@pytest.fixture(scope="session")
+def btpc_profile():
+    """A small-image profile (fast, deterministic)."""
+    return profile_btpc(image_size=64, seed=7, quantizer_step=4)
+
+
+@pytest.fixture(scope="session")
+def btpc_program(btpc_profile):
+    """The design-size BTPC specification."""
+    return build_btpc_program(BtpcConstraints(), btpc_profile)
+
+
+@pytest.fixture(scope="session")
+def constraints():
+    return BtpcConstraints()
+
+
+@pytest.fixture(scope="session")
+def study():
+    """One full exploration shared by all shape tests.
+
+    Uses the canonical 128x128 profile: the 64x64 one is fine for
+    structural tests but its coder statistics are too noisy for the
+    cost-shape checks.
+    """
+    return BtpcStudy()

@@ -1,0 +1,102 @@
+"""Reuse analysis and hierarchy insertion."""
+
+import pytest
+
+from repro.dtse import (
+    apply_hierarchy,
+    describe_stencil,
+    find_stencil,
+    hierarchy_alternatives,
+)
+from repro.ir import TransformError
+
+
+def test_stencil_detected_on_image(btpc_program):
+    pattern = find_stencil(btpc_program, "encode_l0", "image")
+    assert pattern is not None
+    assert pattern.row_span == 3
+    assert pattern.col_span == 3
+    # The paper's ylocal: 12 registers.
+    assert pattern.window_words == 12
+    assert 2.0 < pattern.reads_per_iteration < 4.0
+
+
+def test_rowbuffer_sizing(btpc_program):
+    pattern = find_stencil(btpc_program, "encode_l0", "image")
+    # The paper's yhier: ~5K words (4 rows of 1024 here).
+    assert pattern.rowbuffer_words(1024) == 4096
+    assert pattern.rowbuffer_feed_per_iteration() == 1.0
+    text = describe_stencil(pattern, 1024)
+    assert "12 words" in text
+
+
+def test_no_stencil_on_scan_arrays(btpc_program):
+    assert find_stencil(btpc_program, "load", "image") is None
+    with pytest.raises(TransformError):
+        apply_hierarchy(btpc_program, "load", "image",
+                        use_registers=True, use_rowbuffer=False)
+
+
+def test_register_layer_is_foreground(btpc_program):
+    transformed = apply_hierarchy(
+        btpc_program, "encode_l0", "image",
+        use_registers=True, use_rowbuffer=False,
+    )
+    ylocal = transformed.group("ylocal")
+    assert ylocal.words == 12
+    nest = transformed.nest("encode_l0")
+    register_reads = [
+        a for a in nest.iter_accesses() if a.group == "ylocal" and a.is_read
+    ]
+    assert register_reads and all(a.foreground for a in register_reads)
+    # Image is still fed, sequentially, off the dependence chain.
+    feeds = [a for a in nest.iter_accesses()
+             if a.group == "image" and a.label.startswith("l0_feed")]
+    assert feeds and feeds[0].dram_rows == 1
+
+
+def test_rowbuffer_layer_is_background(btpc_program):
+    transformed = apply_hierarchy(
+        btpc_program, "encode_l0", "image",
+        use_registers=False, use_rowbuffer=True,
+    )
+    yhier = transformed.group("yhier")
+    assert yhier.words == 4096
+    nest = transformed.nest("encode_l0")
+    buffer_reads = [
+        a for a in nest.iter_accesses() if a.group == "yhier" and a.is_read
+    ]
+    assert buffer_reads and not any(a.foreground for a in buffer_reads)
+
+
+def test_two_layers_chain_feeds(btpc_program):
+    transformed = apply_hierarchy(
+        btpc_program, "encode_l0", "image",
+        use_registers=True, use_rowbuffer=True,
+    )
+    counts = transformed.access_counts()
+    # image feeds yhier once per source word (1/4 iteration rate).
+    image_reads = counts["image"].reads
+    base_reads = btpc_program.access_counts()["image"].reads
+    assert image_reads < base_reads * 0.75
+
+
+def test_hierarchy_reduces_image_traffic(btpc_program):
+    base_reads = btpc_program.access_counts()["image"].reads
+    for label, program in hierarchy_alternatives(
+        btpc_program, "encode_l0", "image"
+    ).items():
+        if label == "No hierarchy":
+            continue
+        reads = program.access_counts()["image"].reads
+        assert reads <= base_reads
+
+
+def test_alternatives_are_four(btpc_program):
+    options = hierarchy_alternatives(btpc_program, "encode_l0", "image")
+    assert list(options) == [
+        "No hierarchy",
+        "Only layer 1 (yhier)",
+        "Only layer 0 (ylocal)",
+        "2 layers (both)",
+    ]

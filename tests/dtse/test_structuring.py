@@ -1,0 +1,126 @@
+"""Structuring transforms: compaction and merging laws."""
+
+import pytest
+
+from repro.dtse import compact_group, merge_groups
+from repro.explore import RMW_EXEMPT
+from repro.ir import ProgramBuilder
+
+
+def _pair_program(read_pairs=True, write_pairs=False, solo_write=False):
+    builder = ProgramBuilder("pairs")
+    builder.array("value", (100,), 8)
+    builder.array("flag", (100,), 2)
+    nest = builder.nest("body", ("i",), (100,))
+    if read_pairs:
+        nest.read("value", label="vr", pair="k")
+        nest.read("flag", label="fr", pair="k")
+    if write_pairs:
+        nest.write("value", label="vw", pair="w")
+        nest.write("flag", label="fw", pair="w")
+    if solo_write:
+        nest.write("flag", label="solo")
+    return builder.build()
+
+
+def test_merge_collapses_paired_reads():
+    program = _pair_program(read_pairs=True)
+    merged = merge_groups(program, "value", "flag", "record")
+    counts = merged.access_counts()
+    # Two paired reads become one record read per iteration.
+    assert counts["record"].reads == 100
+    assert counts["record"].writes == 0
+
+
+def test_merge_collapses_paired_writes():
+    program = _pair_program(read_pairs=False, write_pairs=True)
+    merged = merge_groups(program, "value", "flag", "record")
+    counts = merged.access_counts()
+    assert counts["record"].writes == 100
+    assert counts["record"].reads == 0  # full record written: no RMW
+
+
+def test_merge_solo_write_needs_rmw():
+    program = _pair_program(read_pairs=False, solo_write=True)
+    merged = merge_groups(program, "value", "flag", "record")
+    counts = merged.access_counts()
+    assert counts["record"].writes == 100
+    assert counts["record"].reads == 100  # the read-modify-write reads
+
+
+def test_merge_same_key_read_covers_write():
+    builder = ProgramBuilder("cover")
+    builder.array("value", (100,), 8)
+    builder.array("flag", (100,), 2)
+    nest = builder.nest("body", ("i",), (100,))
+    nest.read("value", label="vr", pair="k")
+    nest.write("flag", label="fw", pair="k")
+    merged = merge_groups(builder.build(), "value", "flag", "record")
+    counts = merged.access_counts()
+    # Read fetched the record; the field write needs no extra read.
+    assert counts["record"].reads == 100
+    assert counts["record"].writes == 100
+
+
+def test_merge_rmw_exempt_liveness():
+    program = _pair_program(read_pairs=False, solo_write=True)
+    merged = merge_groups(
+        program, "value", "flag", "record",
+        rmw_exempt=(("body", "solo"),),
+    )
+    counts = merged.access_counts()
+    assert counts["record"].reads == 0
+
+
+def test_merge_rejects_unequal_words():
+    builder = ProgramBuilder("bad")
+    builder.array("a", (100,), 8)
+    builder.array("b", (50,), 2)
+    builder.nest("n", ("i",), (10,)).read("a")
+    program = builder.build()
+    with pytest.raises(Exception):
+        merge_groups(program, "a", "b")
+
+
+def test_compaction_coalesces_reads_and_rmws_writes():
+    builder = ProgramBuilder("cmp")
+    builder.array("flag", (90,), 2)
+    nest = builder.nest("body", ("i",), (90,))
+    nest.read("flag", label="r")
+    nest.write("flag", label="w")
+    compacted = compact_group(builder.build(), "flag", 3)
+    group = compacted.group("flag_x3")
+    assert group.words == 30
+    assert group.bitwidth == 6
+    counts = compacted.access_counts()
+    assert counts["flag_x3"].reads == pytest.approx(90 / 3 + 90)  # +RMW
+    assert counts["flag_x3"].writes == 90
+
+
+def test_compaction_preserves_dependences():
+    builder = ProgramBuilder("dep")
+    builder.array("flag", (90,), 2)
+    builder.array("out", (90,), 8)
+    nest = builder.nest("body", ("i",), (90,))
+    r = nest.read("flag", label="r")
+    nest.write("out", label="o", after=[r])
+    compacted = compact_group(builder.build(), "flag", 3)
+    deps = compacted.nest("body").dependences
+    assert ("r", "o") in deps
+
+
+def test_btpc_merge_reduces_offchip_traffic(btpc_program):
+    counts = btpc_program.access_counts()
+    before = counts["pyr"].total + counts["ridge"].total
+    merged = merge_groups(
+        btpc_program, "pyr", "ridge", "pyrridge", rmw_exempt=RMW_EXEMPT
+    )
+    after = merged.access_counts()["pyrridge"].total
+    assert after < before * 0.85  # a solid traffic cut
+
+
+def test_transform_does_not_mutate_original(btpc_program):
+    names_before = btpc_program.group_names
+    merge_groups(btpc_program, "pyr", "ridge", rmw_exempt=RMW_EXEMPT)
+    compact_group(btpc_program, "ridge", 3)
+    assert btpc_program.group_names == names_before

@@ -1,0 +1,70 @@
+"""Array declarations and basic group structuring geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import ArrayDecl, BasicGroup, IRError
+
+
+def test_array_geometry():
+    array = ArrayDecl("img", (64, 32), 8)
+    assert array.words == 2048
+    assert array.bits == 16384
+    assert array.rank == 2
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"name": "", "shape": (4,), "bitwidth": 8},
+        {"name": "a", "shape": (), "bitwidth": 8},
+        {"name": "a", "shape": (0,), "bitwidth": 8},
+        {"name": "a", "shape": (4,), "bitwidth": 0},
+    ],
+)
+def test_array_rejects_bad_geometry(kwargs):
+    with pytest.raises(IRError):
+        ArrayDecl(**kwargs)
+
+
+def test_group_from_array():
+    group = BasicGroup.from_array(ArrayDecl("a", (100,), 10))
+    assert group.words == 100
+    assert group.bitwidth == 10
+    assert group.origin == ("a",)
+    assert group.structure == "plain"
+
+
+@given(st.integers(1, 10_000), st.integers(1, 24), st.integers(2, 8))
+def test_compaction_conserves_bits(words, bitwidth, factor):
+    group = BasicGroup("g", words, bitwidth)
+    compacted = group.compacted(factor)
+    # Rounded up to whole wide words: never loses payload bits.
+    assert compacted.bits >= group.bits
+    assert compacted.bits < group.bits + compacted.bitwidth
+    assert compacted.bitwidth == bitwidth * factor
+    assert compacted.packing == factor
+
+
+def test_compaction_requires_factor():
+    with pytest.raises(IRError):
+        BasicGroup("g", 8, 2).compacted(1)
+
+
+def test_merge_requires_equal_words():
+    a = BasicGroup("a", 100, 8)
+    b = BasicGroup("b", 100, 2)
+    merged = a.merged_with(b)
+    assert merged.words == 100
+    assert merged.bitwidth == 10
+    assert merged.origin == ("a", "b")
+    with pytest.raises(IRError):
+        a.merged_with(BasicGroup("c", 99, 2))
+
+
+@given(st.integers(1, 5000), st.integers(1, 16), st.integers(1, 16))
+def test_merge_conserves_bits(words, width_a, width_b):
+    merged = BasicGroup("a", words, width_a).merged_with(
+        BasicGroup("b", words, width_b)
+    )
+    assert merged.bits == words * (width_a + width_b)

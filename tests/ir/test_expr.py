@@ -1,0 +1,87 @@
+"""Affine expression algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import AffineExpr, IRError, index_tuple
+
+names = st.sampled_from(["x", "y", "i", "j"])
+envs = st.fixed_dictionaries(
+    {name: st.integers(-100, 100) for name in ["x", "y", "i", "j"]}
+)
+
+
+def exprs():
+    return st.builds(
+        AffineExpr.from_terms,
+        st.dictionaries(names, st.integers(-5, 5), max_size=3),
+        st.integers(-50, 50),
+    )
+
+
+def test_parse_simple():
+    expr = AffineExpr.parse("2*y + x - 1")
+    assert expr.evaluate({"x": 3, "y": 5}) == 12
+    assert expr.coefficient("y") == 2
+    assert expr.coefficient("z") == 0
+
+
+def test_parse_constant_and_negative():
+    assert AffineExpr.parse("7").offset == 7
+    assert AffineExpr.parse("-x").coefficient("x") == -1
+    assert AffineExpr.parse("- 3 * i + 2").evaluate({"i": 1}) == -1
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(IRError):
+        AffineExpr.parse("")
+    with pytest.raises(IRError):
+        AffineExpr.parse("x**2")
+
+
+def test_equality_is_canonical():
+    assert AffineExpr.parse("x+y") == AffineExpr.parse("y+x")
+    assert AffineExpr.parse("x - x + 3") == AffineExpr.const(3)
+
+
+def test_var_and_const_constructors():
+    assert AffineExpr.var("x", 0) == AffineExpr.const(0)
+    assert AffineExpr.var("x").evaluate({"x": 4}) == 4
+
+
+def test_index_tuple_coercion():
+    coerced = index_tuple("y", "x+1", 0)
+    assert coerced[0] == AffineExpr.var("y")
+    assert coerced[1].offset == 1
+    assert coerced[2].is_constant
+
+
+def test_substitute():
+    expr = AffineExpr.parse("2*x + y")
+    result = expr.substitute({"x": AffineExpr.parse("i+1")})
+    assert result.evaluate({"i": 2, "y": 3}) == 9
+
+
+@given(exprs(), exprs(), envs)
+def test_addition_matches_evaluation(a, b, env):
+    assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+
+@given(exprs(), exprs(), envs)
+def test_subtraction_matches_evaluation(a, b, env):
+    assert (a - b).evaluate(env) == a.evaluate(env) - b.evaluate(env)
+
+
+@given(exprs(), st.integers(-10, 10), envs)
+def test_scaling_matches_evaluation(a, k, env):
+    assert (a * k).evaluate(env) == k * a.evaluate(env)
+
+
+@given(exprs())
+def test_negation_involution(a):
+    assert -(-a) == a
+
+
+@given(exprs(), envs)
+def test_str_roundtrip(a, env):
+    assert AffineExpr.parse(str(a)).evaluate(env) == a.evaluate(env)

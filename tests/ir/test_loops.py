@@ -1,0 +1,113 @@
+"""Access semantics, exclusivity tags and loop nest invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import READ, WRITE, Access, IRError, LoopNest, Statement
+from repro.ir.loops import are_exclusive
+
+
+def test_probability_shorthand_normalizes():
+    access = Access("g", READ, "r", probability=2.5)
+    assert access.probability == 1.0
+    assert access.multiplicity == 2.5
+    assert access.expected_accesses == 2.5
+
+
+def test_expected_accesses():
+    access = Access("g", READ, "r", probability=0.25, multiplicity=4)
+    assert access.expected_accesses == 1.0
+
+
+def test_access_rejects_bad_values():
+    with pytest.raises(IRError):
+        Access("g", READ, "")
+    with pytest.raises(IRError):
+        Access("g", READ, "r", probability=-0.1)
+    with pytest.raises(IRError):
+        Access("g", READ, "r", multiplicity=0)
+
+
+@pytest.mark.parametrize(
+    "a, b, expected",
+    [
+        ("H", "V", True),
+        ("D", "D:0", False),
+        ("D:0", "D:1", True),
+        ("D:0", "D:0", False),
+        (None, "H", False),
+        ("H", None, False),
+        ("D:0:x", "D:0", False),
+        ("D:0:x", "D:1:x", True),
+    ],
+)
+def test_exclusivity_prefix_rules(a, b, expected):
+    assert are_exclusive(a, b) is expected
+    assert are_exclusive(b, a) is expected  # symmetric
+
+
+@given(st.text(alphabet="abc:", max_size=6))
+def test_exclusivity_irreflexive(tag):
+    assert not are_exclusive(tag, tag)
+
+
+def _nest(accesses, deps=frozenset()):
+    return LoopNest(
+        name="n",
+        iterators=("i",),
+        trip_counts=(10,),
+        body=(Statement("s", tuple(accesses)),),
+        dependences=frozenset(deps),
+    )
+
+
+def test_nest_rejects_duplicate_labels():
+    with pytest.raises(IRError):
+        _nest([Access("g", READ, "a"), Access("g", WRITE, "a")])
+
+
+def test_nest_rejects_cycles():
+    with pytest.raises(IRError):
+        _nest(
+            [Access("g", READ, "a"), Access("g", WRITE, "b")],
+            {("a", "b"), ("b", "a")},
+        )
+
+
+def test_nest_rejects_unknown_dependence_labels():
+    with pytest.raises(IRError):
+        _nest([Access("g", READ, "a")], {("a", "zz")})
+
+
+def test_iterations_and_counts():
+    nest = _nest([Access("g", READ, "a", probability=0.5)])
+    assert nest.iterations == 10
+    assert nest.access_count("a") == 5.0
+
+
+def test_map_accesses_deletion_drops_edges():
+    nest = _nest(
+        [Access("g", READ, "a"), Access("g", WRITE, "b")], {("a", "b")}
+    )
+    rewritten = nest.map_accesses(
+        lambda acc: None if acc.label == "a" else acc
+    )
+    assert [a.label for a in rewritten.iter_accesses()] == ["b"]
+    assert rewritten.dependences == frozenset()
+
+
+def test_map_accesses_fission_duplicates_edges():
+    nest = _nest(
+        [Access("g", READ, "a"), Access("g", WRITE, "b")], {("a", "b")}
+    )
+
+    def split(access):
+        if access.label == "a":
+            return [
+                Access("g", READ, "a1"),
+                Access("g", READ, "a2"),
+            ]
+        return access
+
+    rewritten = nest.map_accesses(split)
+    assert rewritten.dependences == frozenset({("a1", "b"), ("a2", "b")})

@@ -1,0 +1,92 @@
+"""Program construction, counting, pruning and validation."""
+
+import pytest
+
+from repro.ir import IRError, ProgramBuilder, prune, require_valid, validate_program
+
+
+def _demo_program(foreground_words=0):
+    builder = ProgramBuilder("demo")
+    builder.array("big", (1000,), 8)
+    builder.array("small", (8,), 4)
+    nest = builder.nest("hot", ("i",), (1000,))
+    src = nest.read("big", index=("i",))
+    nest.write("big", index=("i",), after=[src])
+    nest.read("small", prob=0.5)
+    nest = builder.nest("cold", ("j",), (4,))
+    nest.read("big")
+    return builder.build()
+
+
+def test_access_counts():
+    program = _demo_program()
+    counts = program.access_counts()
+    assert counts["big"].reads == 1004
+    assert counts["big"].writes == 1000
+    assert counts["small"].reads == 500
+    assert program.total_accesses() == 2504
+
+
+def test_duplicate_names_rejected():
+    builder = ProgramBuilder("dup")
+    builder.array("a", (4,), 8)
+    builder.array("a", (4,), 8)
+    with pytest.raises(IRError):
+        builder.build()
+
+
+def test_unknown_group_rejected():
+    builder = ProgramBuilder("bad")
+    builder.array("a", (4,), 8)
+    nest = builder.nest("n", ("i",), (4,))
+    nest.read("missing")
+    with pytest.raises(IRError):
+        builder.build()
+
+
+def test_pruning_removes_cold_nest_and_foreground_groups():
+    result = prune(_demo_program(), nest_traffic_threshold=0.01,
+                   foreground_words=16)
+    assert "cold" in result.removed_nests
+    assert "small" in result.foreground_groups
+    names = result.program.group_names
+    assert "small" not in names
+    assert result.retained_access_fraction <= 1.0
+    assert "retained" in result.report()
+
+
+def test_validation_finds_rank_mismatch():
+    builder = ProgramBuilder("rank")
+    builder.array("m", (4, 4), 8)
+    nest = builder.nest("n", ("i",), (4,))
+    nest.read("m", index=("i",))
+    program = builder.build()
+    issues = validate_program(program)
+    assert any("rank" in issue.message for issue in issues)
+    with pytest.raises(IRError):
+        require_valid(program)
+
+
+def test_validation_flags_out_of_bounds():
+    builder = ProgramBuilder("oob")
+    builder.array("m", (4,), 8)
+    nest = builder.nest("n", ("i",), (4,))
+    nest.read("m", index=("i+2",))
+    issues = validate_program(builder.build())
+    assert any("outside" in issue.message for issue in issues)
+
+
+def test_replace_group_retargets_accesses():
+    program = _demo_program()
+    from repro.ir import BasicGroup
+
+    new = BasicGroup("combined", 1008, 8)
+    replaced = program.replace_group(("big", "small"), new)
+    assert set(replaced.group_names) == {"combined"}
+    counts = replaced.access_counts()
+    assert counts["combined"].total == 2504
+
+
+def test_summary_mentions_groups():
+    text = _demo_program().summary()
+    assert "big" in text and "small" in text

@@ -1,0 +1,76 @@
+"""Instrumented arrays and access counters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.profiling import AccessCounter, InstrumentedArray, Profiler
+
+
+def test_element_access_counting():
+    counter = AccessCounter()
+    array = InstrumentedArray("a", (8, 8), counter)
+    array[0, 0] = 5
+    _ = array[0, 0]
+    _ = array[1, 2]
+    assert counter.write_count("a") == 1
+    assert counter.read_count("a") == 2
+
+
+def test_slice_access_counts_elements():
+    counter = AccessCounter()
+    array = InstrumentedArray("a", (4, 4), counter)
+    _ = array[0, :]
+    assert counter.read_count("a") == 4
+    array[1, :] = 7
+    assert counter.write_count("a") == 4
+
+
+def test_fill_counts_all_elements():
+    counter = AccessCounter()
+    array = InstrumentedArray("a", (3, 3), counter)
+    array.fill(1)
+    assert counter.write_count("a") == 9
+    assert np.all(array.data == 1)
+
+
+def test_profiler_rejects_duplicate_names():
+    profiler = Profiler()
+    profiler.array("a", (4,))
+    with pytest.raises(ValueError):
+        profiler.array("a", (4,))
+    assert profiler.get("a") is not None
+    assert profiler.get("missing") is None
+
+
+@given(
+    st.dictionaries(st.sampled_from("abcd"), st.floats(0, 1e6), max_size=4),
+    st.floats(0, 8),
+)
+def test_counter_scaling(reads, factor):
+    counter = AccessCounter()
+    for name, count in reads.items():
+        counter.record_read(name, count)
+    scaled = counter.scaled(factor)
+    assert scaled.grand_total() == pytest.approx(counter.grand_total() * factor)
+
+
+def test_counter_merge():
+    first = AccessCounter()
+    first.record_read("a", 2)
+    second = AccessCounter()
+    second.record_read("a", 3)
+    second.record_write("b", 1)
+    merged = first.merged(second)
+    assert merged.read_count("a") == 5
+    assert merged.write_count("b") == 1
+    # Originals untouched.
+    assert first.read_count("a") == 2
+
+
+def test_counter_report_lists_arrays():
+    counter = AccessCounter()
+    counter.record_read("img", 10)
+    counter.record_write("img", 4)
+    text = counter.report()
+    assert "img" in text and "14" in text
