@@ -1,16 +1,17 @@
 """The paper's full exploration: Tables 1-4 and Figures 1-3 regenerated.
 
 Walks the stepwise feedback methodology end to end on the BTPC
-demonstrator: basic group structuring, memory hierarchy decision,
-storage cycle budget distribution and memory allocation exploration —
-with accurate memory-organization feedback at every step.
+demonstrator through the ``repro.api`` engine: basic group structuring,
+memory hierarchy decision, storage cycle budget distribution and memory
+allocation exploration — with accurate memory-organization feedback at
+every step, memoized so nothing is evaluated twice.
 
 Run:  python examples/btpc_exploration.py       (about a minute)
 """
 
 import time
 
-from repro.explore import BtpcStudy
+from repro.api import BtpcStudy
 
 start = time.time()
 study = BtpcStudy()
@@ -32,4 +33,7 @@ print("Figure 3: memory hierarchy for the image array")
 print("=" * 70)
 print(study.figure3())
 print()
+result = study.explore()
+print(f"decisions: {result.decisions}")
+print(f"engine cache: {study.explorer.cache.stats()}")
 print(f"[exploration finished in {time.time() - start:.0f}s]")

@@ -1,16 +1,22 @@
-"""Exploring with a custom memory technology library.
+"""Exploring with custom memory technology libraries.
 
 Shows how every cost number is driven by the pluggable technology
 models: a denser/lower-power on-chip generator and a low-power DRAM
 series change the feedback (and potentially the decisions) everywhere
-at once.
+at once.  Technologies are just one more :class:`DesignSpace` axis, so
+one exhaustive sweep covers the full technology x allocation grid.
 
 Run:  python examples/custom_memory_library.py
 """
 
+from repro.api import (
+    DesignSpace,
+    ExhaustiveSweep,
+    Explorer,
+    render_cost_table,
+)
 from repro.apps.btpc import BtpcConstraints, build_btpc_program, profile_btpc
-from repro.costs import render_cost_table
-from repro.dtse import merge_groups, run_pmm
+from repro.dtse import merge_groups
 from repro.explore import RMW_EXEMPT
 from repro.memlib import (
     DramPart,
@@ -22,10 +28,6 @@ from repro.memlib import (
 
 constraints = BtpcConstraints()
 profile = profile_btpc()
-program = merge_groups(
-    build_btpc_program(constraints, profile), "pyr", "ridge", "pyrridge",
-    rmw_exempt=RMW_EXEMPT,
-)
 
 # A hypothetical 0.35 um shrink: half the area, 40% of the energy.
 dense_tech = OnChipTechnology(
@@ -46,24 +48,29 @@ lp_parts = (
              active_mw=280.0, standby_mw=1.8),
 )
 
-libraries = {
-    "0.7um + EDO DRAM (paper)": MemoryLibrary(),
-    "0.35um + EDO DRAM": MemoryLibrary(onchip=OnChipGenerator(dense_tech)),
-    "0.35um + LP-DRAM": MemoryLibrary(
-        onchip=OnChipGenerator(dense_tech),
-        offchip=OffChipLibrary(lp_parts),
+space = DesignSpace(
+    "btpc-technologies",
+    cycle_budget=constraints.cycle_budget,
+    frame_time_s=constraints.frame_time_s,
+    libraries={
+        "0.7um + EDO DRAM (paper)": MemoryLibrary(),
+        "0.35um + EDO DRAM": MemoryLibrary(onchip=OnChipGenerator(dense_tech)),
+        "0.35um + LP-DRAM": MemoryLibrary(
+            onchip=OnChipGenerator(dense_tech),
+            offchip=OffChipLibrary(lp_parts),
+        ),
+    },
+)
+space.add_variant(
+    "merged",
+    build=lambda: merge_groups(
+        build_btpc_program(constraints, profile), "pyr", "ridge", "pyrridge",
+        rmw_exempt=RMW_EXEMPT,
     ),
-}
+)
 
-reports = []
-for label, library in libraries.items():
-    result = run_pmm(
-        program,
-        constraints.cycle_budget,
-        constraints.frame_time_s,
-        library=library,
-        label=label,
-    )
-    reports.append(result.report)
-
-print(render_cost_table(reports, "Same specification, three technologies"))
+explorer = Explorer(space)
+result = explorer.run(ExhaustiveSweep())
+print(render_cost_table(result.reports(), "Same specification, three technologies"))
+print()
+print("pareto front:", [record.label for record in result.pareto_front()])

@@ -1,0 +1,92 @@
+"""The canonical entry point for memory-organization exploration.
+
+``repro.api`` gathers the whole methodology behind one import::
+
+    from repro.api import DesignSpace, Explorer, ExhaustiveSweep, pareto_front
+
+    space = DesignSpace("demo", cycle_budget=50_000, frame_time_s=1e-3)
+    space.add_variant("baseline", program=program)
+    space.budget_fractions = (1.0, 0.9, 0.8)
+    space.onchip_counts = (None, 2, 4)
+
+    explorer = Explorer(space, workers=4)
+    result = explorer.run(ExhaustiveSweep())
+    for record in result.pareto_front():
+        print(record.report.describe())
+
+The pieces:
+
+* **Describe** the application with :class:`ProgramBuilder` (or reuse a
+  demonstrator such as :class:`BtpcStudy`).
+* **Declare** the alternatives as a :class:`DesignSpace`: program
+  variants (named transform thunks), cycle-budget fractions, on-chip
+  memory counts and technology libraries.
+* **Search** with a pluggable strategy — :class:`ExhaustiveSweep`,
+  :class:`GreedyStepwise` (the paper's Figure-1 walk) or
+  :class:`ParetoRefine` — through an :class:`Explorer` that memoizes
+  every evaluation (content-addressed) and fans batches out over worker
+  processes.
+* **Decide** with :func:`pareto_front` / :func:`knee_point`, and
+  serialize everything (:class:`ExplorationResult` and
+  :class:`CostReport` round-trip through JSON).
+"""
+
+from .costs.report import CostReport, MemoryCost, render_cost_table
+from .dtse.macp import analyze_macp
+from .dtse.pipeline import PmmRequest, PmmResult, run_pmm, run_pmm_request
+from .explore.btpc_study import BtpcStudy
+from .explore.engine import (
+    EvaluationCache,
+    ExplorationError,
+    ExplorationRecord,
+    ExplorationResult,
+    Explorer,
+    fingerprint_request,
+)
+from .explore.pareto import dominates, knee_point, pareto_front
+from .explore.session import Evaluation, ExplorationSession
+from .explore.space import DesignPoint, DesignSpace, ProgramVariant
+from .explore.strategies import (
+    ExhaustiveSweep,
+    GreedyStep,
+    GreedyStepwise,
+    ParetoRefine,
+    SearchStrategy,
+)
+from .ir import Program, ProgramBuilder
+from .memlib.library import MemoryLibrary, default_library
+
+__all__ = [
+    "BtpcStudy",
+    "CostReport",
+    "DesignPoint",
+    "DesignSpace",
+    "EvaluationCache",
+    "Evaluation",
+    "ExhaustiveSweep",
+    "ExplorationError",
+    "ExplorationRecord",
+    "ExplorationResult",
+    "ExplorationSession",
+    "Explorer",
+    "GreedyStep",
+    "GreedyStepwise",
+    "MemoryCost",
+    "MemoryLibrary",
+    "ParetoRefine",
+    "PmmRequest",
+    "PmmResult",
+    "Program",
+    "ProgramBuilder",
+    "ProgramVariant",
+    "SearchStrategy",
+    "analyze_macp",
+    "default_library",
+    "dominates",
+    "fingerprint_request",
+    "knee_point",
+    "pareto_front",
+    "render_cost_table",
+    "run_pmm",
+    "run_pmm_request",
+]

@@ -9,7 +9,7 @@ designer can see *where* the cost comes from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from ..memlib.module import MemoryKind
 
@@ -36,6 +36,35 @@ class MemoryCost:
             f"{self.name:<28} {self.words:>9,}x{self.width:<3}"
             f" p{self.ports} {self.area_mm2:>7.2f} mm2 {self.power_mw:>8.2f} mW"
             f"  [{members}]"
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "kind": self.kind.value,
+            "words": self.words,
+            "width": self.width,
+            "ports": self.ports,
+            "area_mm2": self.area_mm2,
+            "power_mw": self.power_mw,
+            "groups": list(self.groups),
+            "access_rate_hz": self.access_rate_hz,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MemoryCost":
+        return cls(
+            name=data["name"],
+            kind=MemoryKind(data["kind"]),
+            words=int(data["words"]),
+            width=int(data["width"]),
+            ports=int(data["ports"]),
+            area_mm2=float(data["area_mm2"]),
+            power_mw=float(data["power_mw"]),
+            groups=tuple(data.get("groups", ())),
+            access_rate_hz=float(data.get("access_rate_hz", 0.0)),
         )
 
 
@@ -103,6 +132,29 @@ class CostReport:
         if self.notes:
             lines.append(f"  note: {self.notes}")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the inverse of :meth:`from_dict`)."""
+        return {
+            "label": self.label,
+            "memories": [memory.to_dict() for memory in self.memories],
+            "cycles_used": self.cycles_used,
+            "cycle_budget": self.cycle_budget,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CostReport":
+        return cls(
+            label=data["label"],
+            memories=tuple(
+                MemoryCost.from_dict(memory) for memory in data.get("memories", ())
+            ),
+            cycles_used=float(data.get("cycles_used", 0.0)),
+            cycle_budget=float(data.get("cycle_budget", 0.0)),
+            notes=data.get("notes", ""),
+        )
 
 
 def render_cost_table(

@@ -9,7 +9,7 @@ the paper's "Estimated A/T/P to guide decision" box (Figure 1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..costs.report import CostReport
@@ -52,6 +52,46 @@ class PmmResult:
 
 #: Off-chip memories can interleave up to this many DRAM banks.
 MAX_OFFCHIP_BANKS = 4
+
+
+@dataclass(frozen=True)
+class PmmRequest:
+    """One self-contained feedback evaluation, ready to dispatch.
+
+    Bundles everything :func:`run_pmm` needs so an evaluation can be
+    shipped to a worker process (the dataclass pickles), fingerprinted
+    for memoization, or replayed later.  ``label`` is presentation-only:
+    it names the resulting report but does not change any cost number.
+    """
+
+    program: Program
+    cycle_budget: float
+    frame_time_s: float
+    library: MemoryLibrary = field(default_factory=default_library)
+    n_onchip: Optional[int] = None
+    area_weight: float = DEFAULT_AREA_WEIGHT
+    label: str = ""
+    seed: int = 0
+
+    def relabeled(self, label: str) -> "PmmRequest":
+        return replace(self, label=label)
+
+    def run(self) -> PmmResult:
+        return run_pmm(
+            self.program,
+            self.cycle_budget,
+            self.frame_time_s,
+            library=self.library,
+            n_onchip=self.n_onchip,
+            area_weight=self.area_weight,
+            label=self.label,
+            seed=self.seed,
+        )
+
+
+def run_pmm_request(request: PmmRequest) -> PmmResult:
+    """Module-level entry point so process pools can pickle the call."""
+    return request.run()
 
 
 def make_weight_fn(program: Program, library: MemoryLibrary):

@@ -1,24 +1,72 @@
-"""System-level exploration driver: sessions, Pareto tools, the BTPC study."""
+"""System-level exploration: design spaces, the engine, strategies,
+Pareto tools, sessions and the canonical BTPC study."""
 
 from .btpc_study import (
     CHOSEN_BUDGET_FRACTION,
+    DECISIONS,
+    HIERARCHY_VARIANTS,
     RMW_EXEMPT,
+    STEP_ORDER,
+    STRUCTURING_VARIANTS,
     TABLE3_FRACTIONS,
     TABLE4_COUNTS,
     BtpcStudy,
 )
+from .engine import (
+    EvaluationCache,
+    ExplorationError,
+    ExplorationRecord,
+    ExplorationResult,
+    Explorer,
+    canonical_value,
+    fingerprint_request,
+)
 from .pareto import dominates, knee_point, pareto_front
 from .session import Evaluation, ExplorationSession
+from .space import DEFAULT_LIBRARY, DesignPoint, DesignSpace, ProgramVariant
+from .strategies import (
+    ExhaustiveSweep,
+    GreedyContext,
+    GreedyStep,
+    GreedyStepwise,
+    ParetoRefine,
+    SearchStrategy,
+    StepOutcome,
+    select_min_total_power,
+)
 
 __all__ = [
     "CHOSEN_BUDGET_FRACTION",
+    "DECISIONS",
+    "DEFAULT_LIBRARY",
+    "HIERARCHY_VARIANTS",
     "RMW_EXEMPT",
+    "STEP_ORDER",
+    "STRUCTURING_VARIANTS",
     "TABLE3_FRACTIONS",
     "TABLE4_COUNTS",
     "BtpcStudy",
+    "DesignPoint",
+    "DesignSpace",
+    "EvaluationCache",
     "Evaluation",
+    "ExhaustiveSweep",
+    "ExplorationError",
+    "ExplorationRecord",
+    "ExplorationResult",
     "ExplorationSession",
+    "Explorer",
+    "GreedyContext",
+    "GreedyStep",
+    "GreedyStepwise",
+    "ParetoRefine",
+    "ProgramVariant",
+    "SearchStrategy",
+    "StepOutcome",
+    "canonical_value",
     "dominates",
+    "fingerprint_request",
     "knee_point",
     "pareto_front",
+    "select_min_total_power",
 ]

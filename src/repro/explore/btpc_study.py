@@ -13,6 +13,14 @@ This module chains the methodology exactly as the paper does:
 4. **Table 4** — memory allocation exploration (number of on-chip
    memories) at the tightened budget.
 
+Since the ``repro.api`` redesign the study is a thin adapter over the
+exploration engine: the alternatives are variants of a declarative
+:class:`~repro.explore.space.DesignSpace` and the walk itself is a
+:class:`~repro.explore.strategies.GreedyStepwise` strategy whose
+decisions are the paper's designer decisions.  The legacy
+:class:`~repro.explore.session.ExplorationSession` log is kept in sync
+so the exploration tree (Fig. 1) renders as before.
+
 Figures 1-3 are regenerated as text artifacts: the exploration tree with
 its cost feedback (Fig. 1), the structuring transforms' concrete effect
 (Fig. 2) and the reuse/hierarchy layering for ``image`` (Fig. 3).
@@ -30,7 +38,10 @@ from ..dtse.reuse import describe_stencil, find_stencil
 from ..dtse.structuring import compact_group, merge_groups
 from ..ir.program import Program
 from ..memlib.library import MemoryLibrary, default_library
+from .engine import ExplorationResult, Explorer
 from .session import ExplorationSession
+from .space import DesignSpace
+from .strategies import GreedyStep, GreedyStepwise, StepOutcome
 
 #: Pyramid-build writes touch records whose ridge field is not live yet.
 RMW_EXEMPT = (("build_l1", "pyr_bw"), ("build_rest", "pyr_bw"))
@@ -51,146 +62,236 @@ TABLE4_COUNTS = (4, 5, 8, 10, 14)
 #: allocation is 5.
 TABLE3_ALLOCATION = 5
 
+# The methodology steps (and their Fig. 1 layer names), in walk order.
+STEP_STRUCTURING = "Basic group structuring"
+STEP_HIERARCHY = "Memory hierarchy"
+STEP_BUDGET = "Cycle budget"
+STEP_ALLOCATION = "Memory allocation"
+STEP_ORDER = (STEP_STRUCTURING, STEP_HIERARCHY, STEP_BUDGET, STEP_ALLOCATION)
+
+#: Variant names for the structuring (Table 1) alternatives.
+STRUCTURING_VARIANTS = ("No structuring", "ridge compacted", "ridge and pyr merged")
+
+#: Variant names for the hierarchy (Table 2) alternatives; these match
+#: the keys of :func:`~repro.dtse.hierarchy.hierarchy_alternatives`.
+HIERARCHY_VARIANTS = (
+    "No hierarchy",
+    "Only layer 1 (yhier)",
+    "Only layer 0 (ylocal)",
+    "2 layers (both)",
+)
+
+#: The paper's decision at each step.
+DECISIONS = {
+    STEP_STRUCTURING: "ridge and pyr merged",
+    STEP_HIERARCHY: "Only layer 0 (ylocal)",
+    STEP_BUDGET: f"{CHOSEN_BUDGET_FRACTION:.0%} budget",
+    STEP_ALLOCATION: "8 on-chip memories",
+}
+
 
 @dataclass
 class BtpcStudy:
-    """Runs (and caches) the full BTPC exploration."""
+    """Runs (and caches) the full BTPC exploration via the engine."""
 
     constraints: BtpcConstraints = field(default_factory=BtpcConstraints)
     profile: Optional[BtpcProfile] = None
     library: MemoryLibrary = field(default_factory=default_library)
+    #: Process-parallelism for batch evaluation (1 = in-process).
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.profile is None:
             self.profile = profile_btpc()
+        self.space = self._build_space()
+        self.explorer = Explorer(self.space, workers=self.workers)
         self.session = ExplorationSession(
             cycle_budget=self.constraints.cycle_budget,
             frame_time_s=self.constraints.frame_time_s,
             library=self.library,
+            explorer=self.explorer,
         )
-        self._base: Optional[Program] = None
-        self._merged: Optional[Program] = None
-        self._hier: Optional[Program] = None
-        self._tables: Dict[str, List[CostReport]] = {}
+        self._hier_alts: Optional[Dict[str, Program]] = None
+        self._outcomes: Dict[str, StepOutcome] = {}
+
+    # ------------------------------------------------------------------
+    # The declarative design space
+    # ------------------------------------------------------------------
+    def _build_space(self) -> DesignSpace:
+        space = DesignSpace(
+            name="btpc",
+            cycle_budget=self.constraints.cycle_budget,
+            frame_time_s=self.constraints.frame_time_s,
+            budget_fractions=TABLE3_FRACTIONS,
+            onchip_counts=(None,) + TABLE4_COUNTS,
+            libraries={"default": self.library},
+            description="BTPC structuring/hierarchy/budget/allocation axes",
+        )
+        space.add_variant(
+            "No structuring",
+            build=lambda: build_btpc_program(self.constraints, self.profile),
+            description="the pruned specification as profiled",
+        )
+        space.add_variant(
+            "ridge compacted",
+            build=lambda: compact_group(self.base_program, "ridge", 3),
+            description="three 2-bit ridge classes packed per word",
+        )
+        space.add_variant(
+            "ridge and pyr merged",
+            build=lambda: merge_groups(
+                self.base_program, "pyr", "ridge", "pyrridge",
+                rmw_exempt=RMW_EXEMPT,
+            ),
+            description="pyr+ridge zipped into one record array",
+        )
+        for name in HIERARCHY_VARIANTS:
+            space.add_variant(
+                name,
+                build=lambda name=name: self.hierarchy_alternative(name),
+                description="Table 2 hierarchy alternative on the merged program",
+            )
+        return space
+
+    def hierarchy_alternative(self, name: str) -> Program:
+        """One of the four Table 2 programs (built once, shared)."""
+        if self._hier_alts is None:
+            self._hier_alts = hierarchy_alternatives(
+                self.merged_program, "encode_l0", "image"
+            )
+        return self._hier_alts[name]
 
     # ------------------------------------------------------------------
     # Programs along the decision chain
     # ------------------------------------------------------------------
     @property
     def base_program(self) -> Program:
-        if self._base is None:
-            self._base = build_btpc_program(self.constraints, self.profile)
-        return self._base
+        """The pruned specification (built once by the space)."""
+        return self.space.program("No structuring")
 
     @property
     def merged_program(self) -> Program:
         """After the Table 1 decision (ridge+pyr merged)."""
-        if self._merged is None:
-            self._merged = merge_groups(
-                self.base_program, "pyr", "ridge", "pyrridge",
-                rmw_exempt=RMW_EXEMPT,
-            )
-        return self._merged
+        return self.space.program("ridge and pyr merged")
 
     @property
     def hierarchy_program(self) -> Program:
         """After the Table 2 decision (layer 0 registers)."""
-        if self._hier is None:
-            self._hier = apply_hierarchy(
-                self.merged_program, "encode_l0", "image",
-                use_registers=True, use_rowbuffer=False,
-            )
-        return self._hier
+        return self.hierarchy_alternative(DECISIONS[STEP_HIERARCHY])
 
     @property
     def chosen_budget(self) -> int:
         return int(self.constraints.cycle_budget * CHOSEN_BUDGET_FRACTION)
 
     # ------------------------------------------------------------------
+    # The greedy walk
+    # ------------------------------------------------------------------
+    def greedy_steps(self) -> List[GreedyStep]:
+        """The paper's four methodology steps with its fixed decisions."""
+        point = self.space.point
+        chosen_hier = DECISIONS[STEP_HIERARCHY]
+        return [
+            GreedyStep(
+                STEP_STRUCTURING,
+                points=[point(name) for name in STRUCTURING_VARIANTS],
+                select=DECISIONS[STEP_STRUCTURING],
+            ),
+            GreedyStep(
+                STEP_HIERARCHY,
+                points=[point(name) for name in HIERARCHY_VARIANTS],
+                select=DECISIONS[STEP_HIERARCHY],
+            ),
+            GreedyStep(
+                STEP_BUDGET,
+                points=[
+                    point(
+                        chosen_hier,
+                        budget_fraction=fraction,
+                        n_onchip=TABLE3_ALLOCATION,
+                        label=f"{fraction:.0%} budget",
+                    )
+                    for fraction in TABLE3_FRACTIONS
+                ],
+                select=DECISIONS[STEP_BUDGET],
+            ),
+            GreedyStep(
+                STEP_ALLOCATION,
+                points=[
+                    point(
+                        chosen_hier,
+                        budget_fraction=CHOSEN_BUDGET_FRACTION,
+                        n_onchip=count,
+                        label=f"{count} on-chip memories",
+                    )
+                    for count in TABLE4_COUNTS
+                ],
+                select=DECISIONS[STEP_ALLOCATION],
+            ),
+        ]
+
+    def strategy(self) -> GreedyStepwise:
+        """The full four-step walk as a reusable strategy object."""
+        return GreedyStepwise(self.greedy_steps(), session=self.session)
+
+    def _step(self, name: str) -> StepOutcome:
+        """Run (once) and cache one methodology step."""
+        if name not in self._outcomes:
+            step = next(s for s in self.greedy_steps() if s.name == name)
+            walk = GreedyStepwise([step], session=self.session)
+            walk.run(self.explorer)
+            self._outcomes[name] = walk.outcomes[0]
+        return self._outcomes[name]
+
+    def explore(self) -> ExplorationResult:
+        """Walk all four steps and return the structured result."""
+        result = ExplorationResult(
+            space_name=self.space.name, strategy=GreedyStepwise.name
+        )
+        for name in STEP_ORDER:
+            outcome = self._step(name)
+            result.records.extend(outcome.records)
+            result.decisions[name] = outcome.chosen.label
+        return result
+
+    # ------------------------------------------------------------------
     # Tables
     # ------------------------------------------------------------------
     def table1(self) -> List[CostReport]:
         """Basic group structuring (paper Table 1)."""
-        if "table1" not in self._tables:
-            alternatives = [
-                ("No structuring", self.base_program),
-                ("ridge compacted", compact_group(self.base_program, "ridge", 3)),
-                ("ridge and pyr merged", self.merged_program),
-            ]
-            reports = [
-                self.session.evaluate(program, "Basic group structuring", label).report
-                for label, program in alternatives
-            ]
-            self.session.choose("Basic group structuring", "ridge and pyr merged")
-            self._tables["table1"] = reports
-        return self._tables["table1"]
+        return [record.report for record in self._step(STEP_STRUCTURING).records]
 
     def table2(self) -> List[CostReport]:
         """Memory hierarchy decision (paper Table 2)."""
-        if "table2" not in self._tables:
-            reports = []
-            for label, program in hierarchy_alternatives(
-                self.merged_program, "encode_l0", "image"
-            ).items():
-                reports.append(
-                    self.session.evaluate(program, "Memory hierarchy", label).report
-                )
-            self.session.choose("Memory hierarchy", "Only layer 0 (ylocal)")
-            self._tables["table2"] = reports
-        return self._tables["table2"]
+        return [record.report for record in self._step(STEP_HIERARCHY).records]
 
     def table3(self) -> List[Tuple[float, CostReport]]:
         """Cycle budget distribution trade-off (paper Table 3).
 
         Returns (extra cycles for the datapath, report) rows.  Evaluated
-        at the designer's 4-memory allocation, like the paper (its
+        at the designer's working allocation, like the paper (its
         15.7 % row equals Table 4's 4-memory row).
         """
-        if "table3" not in self._tables:
-            rows = []
-            full = self.constraints.cycle_budget
-            for fraction in TABLE3_FRACTIONS:
-                result = self.session.evaluate(
-                    self.hierarchy_program,
-                    "Cycle budget",
-                    f"{fraction:.0%} budget",
-                    cycle_budget=int(full * fraction),
-                    n_onchip=TABLE3_ALLOCATION,
-                )
-                extra = full - result.distribution.cycles_used
-                rows.append((extra, result.report))
-            self.session.choose(
-                "Cycle budget", f"{CHOSEN_BUDGET_FRACTION:.0%} budget"
-            )
-            self._tables["table3"] = rows
-        return self._tables["table3"]
+        full = self.constraints.cycle_budget
+        return [
+            (full - record.report.cycles_used, record.report)
+            for record in self._step(STEP_BUDGET).records
+        ]
 
     def table4(self) -> List[Tuple[int, CostReport]]:
         """Memory allocation exploration (paper Table 4)."""
-        if "table4" not in self._tables:
-            rows = []
-            for count in TABLE4_COUNTS:
-                result = self.session.evaluate(
-                    self.hierarchy_program,
-                    "Memory allocation",
-                    f"{count} on-chip memories",
-                    cycle_budget=self.chosen_budget,
-                    n_onchip=count,
-                )
-                rows.append((count, result.report))
-            self.session.choose("Memory allocation", "8 on-chip memories")
-            self._tables["table4"] = rows
-        return self._tables["table4"]
+        return [
+            (count, record.report)
+            for count, record in zip(
+                TABLE4_COUNTS, self._step(STEP_ALLOCATION).records
+            )
+        ]
 
     # ------------------------------------------------------------------
     # Figures
     # ------------------------------------------------------------------
     def figure1(self) -> str:
         """The stepwise methodology tree with live cost feedback."""
-        self.table1()
-        self.table2()
-        self.table3()
-        self.table4()
+        self.explore()
         return self.session.render_tree()
 
     def figure2(self) -> str:

@@ -1,0 +1,539 @@
+"""The exploration engine: memoized, parallel feedback evaluation.
+
+The :class:`Explorer` turns :class:`~repro.explore.space.DesignPoint`\\ s
+into :class:`ExplorationRecord`\\ s by driving the ``run_pmm`` feedback
+oracle, with two performance layers the ad-hoc drivers never had:
+
+* **content-addressed memoization** — every evaluation request is
+  fingerprinted over (program structure, cycle budget, knobs, library);
+  a repeated point costs a dictionary lookup.  The fingerprint excludes
+  the presentation label, so the same organization evaluated under two
+  names is still one oracle run.
+* **process-parallel batches** — ``workers=N`` fans cache misses out
+  over a :class:`concurrent.futures.ProcessPoolExecutor`; results come
+  back in deterministic point order regardless of completion order.
+
+Search strategies (:mod:`repro.explore.strategies`) sit on top and only
+ever talk to the explorer, so caching and parallelism apply to every
+strategy uniformly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..costs.report import CostReport
+from ..dtse.allocation.assign import DEFAULT_AREA_WEIGHT
+from ..dtse.pipeline import PmmRequest, PmmResult
+from ..ir.program import Program
+from ..memlib.library import MemoryLibrary, default_library
+from .pareto import dominates, knee_point, pareto_front
+from .space import DesignPoint, DesignSpace
+
+# ----------------------------------------------------------------------
+# Stable fingerprints
+# ----------------------------------------------------------------------
+def canonical_value(value: Any) -> Any:
+    """Reduce a value to JSON-stable primitives for fingerprinting.
+
+    Dataclasses flatten to (type name, field values); enums to their
+    qualified name; floats go through ``float()`` so numpy scalars and
+    Python floats fingerprint identically.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        encoded = {
+            f.name: canonical_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        encoded["__type__"] = type(value).__name__
+        return encoded
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, (tuple, list)):
+        return [canonical_value(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(canonical_value(item) for item in value)
+    if isinstance(value, Mapping):
+        return {str(key): canonical_value(value[key]) for key in sorted(value)}
+    try:  # numpy scalars and other float-like leaves
+        return float(value)
+    except (TypeError, ValueError):
+        pass
+    if hasattr(value, "__dict__"):  # plain-state objects (e.g. generators)
+        encoded = {
+            key: canonical_value(item) for key, item in sorted(vars(value).items())
+        }
+        encoded["__type__"] = type(value).__name__
+        return encoded
+    return repr(value)
+
+
+def fingerprint_request(request: PmmRequest) -> str:
+    """Content address of one evaluation (label excluded: cosmetic)."""
+    payload = {
+        "program": canonical_value(request.program),
+        "cycle_budget": float(request.cycle_budget),
+        "frame_time_s": float(request.frame_time_s),
+        "library": canonical_value(request.library),
+        "n_onchip": request.n_onchip,
+        "area_weight": float(request.area_weight),
+        "seed": request.seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Memoization cache
+# ----------------------------------------------------------------------
+class EvaluationCache:
+    """Fingerprint -> cost report store, optionally persisted to disk.
+
+    Reports are the serializable payload; full :class:`PmmResult`\\ s are
+    kept in-memory only (they hold schedules and conflict graphs) for
+    callers that need more than the report.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.reports: Dict[str, CostReport] = {}
+        self.results: Dict[str, PmmResult] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def _report_file(self, fingerprint: str) -> Optional[Path]:
+        if self.path is None:
+            return None
+        return self.path / f"{fingerprint}.json"
+
+    def get_report(self, fingerprint: str) -> Optional[CostReport]:
+        report = self.reports.get(fingerprint)
+        if report is not None:
+            return report
+        report_file = self._report_file(fingerprint)
+        if report_file is not None and report_file.exists():
+            with report_file.open("r", encoding="utf-8") as handle:
+                report = CostReport.from_dict(json.load(handle))
+            self.reports[fingerprint] = report
+            return report
+        return None
+
+    def get_result(self, fingerprint: str) -> Optional[PmmResult]:
+        return self.results.get(fingerprint)
+
+    def store(
+        self,
+        fingerprint: str,
+        report: CostReport,
+        result: Optional[PmmResult] = None,
+    ) -> None:
+        self.reports[fingerprint] = report
+        if result is not None:
+            self.results[fingerprint] = result
+        report_file = self._report_file(fingerprint)
+        if report_file is not None:
+            with report_file.open("w", encoding="utf-8") as handle:
+                json.dump(report.to_dict(), handle, ensure_ascii=False)
+
+    def clear(self) -> None:
+        self.reports.clear()
+        self.results.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> str:
+        return f"{len(self.reports)} entries, {self.hits} hits, {self.misses} misses"
+
+
+# ----------------------------------------------------------------------
+# Records and result sets
+# ----------------------------------------------------------------------
+@dataclass
+class ExplorationRecord:
+    """One evaluated design point with its provenance."""
+
+    point: DesignPoint
+    report: CostReport
+    fingerprint: str
+    seconds: float = 0.0
+    cache_hit: bool = False
+    step: str = ""
+    program_name: str = ""
+
+    @property
+    def label(self) -> str:
+        return self.report.label or self.point.display_label
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "point": self.point.to_dict(),
+            "report": self.report.to_dict(),
+            "fingerprint": self.fingerprint,
+            "seconds": self.seconds,
+            "cache_hit": self.cache_hit,
+            "step": self.step,
+            "program_name": self.program_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExplorationRecord":
+        return cls(
+            point=DesignPoint.from_dict(data["point"]),
+            report=CostReport.from_dict(data["report"]),
+            fingerprint=data["fingerprint"],
+            seconds=float(data.get("seconds", 0.0)),
+            cache_hit=bool(data.get("cache_hit", False)),
+            step=data.get("step", ""),
+            program_name=data.get("program_name", ""),
+        )
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one strategy run produced, JSON round-trippable."""
+
+    space_name: str
+    strategy: str
+    records: List[ExplorationRecord] = field(default_factory=list)
+    #: Step name -> chosen label (greedy walks record their decisions).
+    decisions: Dict[str, str] = field(default_factory=dict)
+
+    def reports(self) -> List[CostReport]:
+        return [record.report for record in self.records]
+
+    def pareto_front(self) -> List[ExplorationRecord]:
+        front = [
+            record
+            for record in self.records
+            if not any(
+                dominates(other.report, record.report) for other in self.records
+            )
+        ]
+        return sorted(
+            front,
+            key=lambda r: (r.report.onchip_area_mm2, r.report.total_power_mw),
+        )
+
+    def knee_point(self) -> ExplorationRecord:
+        front = self.pareto_front()
+        knee = knee_point([record.report for record in front])
+        return next(record for record in front if record.report == knee)
+
+    def cache_hit_count(self) -> int:
+        return sum(1 for record in self.records if record.cache_hit)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "space_name": self.space_name,
+            "strategy": self.strategy,
+            "records": [record.to_dict() for record in self.records],
+            "decisions": dict(self.decisions),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExplorationResult":
+        return cls(
+            space_name=data.get("space_name", ""),
+            strategy=data.get("strategy", ""),
+            records=[
+                ExplorationRecord.from_dict(record)
+                for record in data.get("records", ())
+            ],
+            decisions=dict(data.get("decisions", {})),
+        )
+
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        text = json.dumps(self.to_dict(), indent=2, ensure_ascii=False)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]) -> "ExplorationResult":
+        """Parse from a JSON string or a path to a JSON file."""
+        if isinstance(source, Path) or (
+            isinstance(source, str) and not source.lstrip().startswith("{")
+        ):
+            text = Path(source).read_text(encoding="utf-8")
+        else:
+            text = source
+        return cls.from_dict(json.loads(text))
+
+
+class ExplorationError(RuntimeError):
+    """An evaluation failed (e.g. an infeasible allocation count)."""
+
+
+# ----------------------------------------------------------------------
+# Worker entry point (module-level: must pickle into process pools)
+# ----------------------------------------------------------------------
+def _evaluate_request(
+    request: PmmRequest,
+) -> Tuple[Optional[CostReport], float, Optional[str]]:
+    start = time.perf_counter()
+    try:
+        report = request.run().report
+    except Exception as exc:  # noqa: BLE001 - reported to the caller
+        return None, time.perf_counter() - start, f"{type(exc).__name__}: {exc}"
+    return report, time.perf_counter() - start, None
+
+
+# ----------------------------------------------------------------------
+# The explorer
+# ----------------------------------------------------------------------
+class Explorer:
+    """Evaluates design points through the feedback oracle.
+
+    Parameters
+    ----------
+    space:
+        The design space points refer to.  Optional: the ad-hoc
+        :meth:`evaluate_program` path works without one (legacy
+        sessions use it).
+    workers:
+        Process-parallelism for batch evaluation.  1 (the default) stays
+        in-process and also caches full :class:`PmmResult` objects.
+    cache:
+        Shared :class:`EvaluationCache`; a private one is created when
+        omitted.
+    on_error:
+        ``"raise"`` (default) propagates oracle failures; ``"skip"``
+        drops infeasible points from the batch instead, recording them
+        in :attr:`failures` (a sweep axis routinely contains corners
+        the allocator cannot satisfy).
+    """
+
+    def __init__(
+        self,
+        space: Optional[DesignSpace] = None,
+        *,
+        workers: int = 1,
+        cache: Optional[EvaluationCache] = None,
+        area_weight: float = DEFAULT_AREA_WEIGHT,
+        seed: int = 0,
+        on_error: str = "raise",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if on_error not in ("raise", "skip"):
+            raise ValueError("on_error must be 'raise' or 'skip'")
+        self.space = space
+        self.workers = workers
+        self.cache = cache if cache is not None else EvaluationCache()
+        self.area_weight = area_weight
+        self.seed = seed
+        self.on_error = on_error
+        self.records: List[ExplorationRecord] = []
+        self.failures: List[Tuple[DesignPoint, str]] = []
+        self._seconds: Dict[str, float] = {}
+        self._errors: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Request resolution
+    # ------------------------------------------------------------------
+    def request_for(self, point: DesignPoint) -> PmmRequest:
+        """Resolve a point against the space into a concrete request."""
+        if self.space is None:
+            raise ValueError("explorer has no design space")
+        return PmmRequest(
+            program=self.space.program(point.variant),
+            cycle_budget=self.space.effective_budget(point.budget_fraction),
+            frame_time_s=self.space.frame_time_s,
+            library=self.space.library(point.library),
+            n_onchip=point.n_onchip,
+            area_weight=self.area_weight,
+            label=point.display_label,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, point: DesignPoint, step: str = "") -> ExplorationRecord:
+        """Evaluate one point (cache-aware, serial)."""
+        return self.evaluate_many([point], step=step)[0]
+
+    def evaluate_many(
+        self, points: Sequence[DesignPoint], step: str = ""
+    ) -> List[ExplorationRecord]:
+        """Evaluate a batch; misses fan out over the process pool.
+
+        Records come back in the order of ``points`` whatever the
+        completion order, so parallel runs are bit-identical to serial
+        ones.  Duplicate points within the batch are evaluated once.
+        """
+        requests = [self.request_for(point) for point in points]
+        fingerprints = [fingerprint_request(request) for request in requests]
+        fresh: Dict[str, PmmRequest] = {}
+        for fingerprint, request in zip(fingerprints, requests):
+            if (
+                self.cache.get_report(fingerprint) is None
+                and fingerprint not in self._errors
+                and fingerprint not in fresh
+            ):
+                fresh[fingerprint] = request
+        self._evaluate_misses(fresh)
+        records = []
+        for point, request, fingerprint in zip(points, requests, fingerprints):
+            hit = fingerprint not in fresh
+            report = self.cache.get_report(fingerprint)
+            if report is None:  # failed and on_error == "skip"
+                failure = (point, self._errors[fingerprint])
+                if failure not in self.failures:
+                    self.failures.append(failure)
+                continue
+            if report.label != request.label:
+                report = dataclasses.replace(report, label=request.label)
+            if hit:
+                self.cache.hits += 1
+            record = ExplorationRecord(
+                point=point,
+                report=report,
+                fingerprint=fingerprint,
+                seconds=0.0 if hit else self._seconds.get(fingerprint, 0.0),
+                cache_hit=hit,
+                step=step,
+                program_name=request.program.name,
+            )
+            records.append(record)
+        self.records.extend(records)
+        return records
+
+    def _evaluate_misses(self, fresh: Dict[str, PmmRequest]) -> None:
+        """Run the oracle for every fingerprint in ``fresh``."""
+        if not fresh:
+            return
+        self.cache.misses += len(fresh)
+        items = list(fresh.items())
+        if self.workers > 1 and len(items) > 1:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                outcomes = pool.map(
+                    _evaluate_request, [request for _, request in items]
+                )
+                for (fingerprint, request), (report, seconds, error) in zip(
+                    items, outcomes
+                ):
+                    if error is not None:
+                        self._record_failure(fingerprint, request, error)
+                        continue
+                    self.cache.store(fingerprint, report)
+                    self._seconds[fingerprint] = seconds
+        else:
+            for fingerprint, request in items:
+                start = time.perf_counter()
+                try:
+                    result = request.run()
+                except Exception as exc:
+                    if self.on_error == "raise":
+                        raise
+                    self._record_failure(
+                        fingerprint, request, f"{type(exc).__name__}: {exc}"
+                    )
+                    continue
+                seconds = time.perf_counter() - start
+                self.cache.store(fingerprint, result.report, result)
+                self._seconds[fingerprint] = seconds
+
+    def _record_failure(
+        self, fingerprint: str, request: PmmRequest, error: str
+    ) -> None:
+        if self.on_error == "raise":
+            raise ExplorationError(f"evaluation of {request.label!r} failed: {error}")
+        self._errors[fingerprint] = error
+
+    # ------------------------------------------------------------------
+    def evaluate_program(
+        self,
+        program: Program,
+        *,
+        label: str,
+        cycle_budget: float,
+        frame_time_s: float,
+        library: Optional[MemoryLibrary] = None,
+        n_onchip: Optional[int] = None,
+        step: str = "",
+    ) -> Tuple[ExplorationRecord, PmmResult]:
+        """Ad-hoc evaluation of a bare program (the session path).
+
+        Returns the full :class:`PmmResult`; on a cache hit whose result
+        object was not retained (parallel or persisted entries keep only
+        the report), the oracle re-runs — deterministically identical.
+        """
+        request = PmmRequest(
+            program=program,
+            cycle_budget=cycle_budget,
+            frame_time_s=frame_time_s,
+            library=library if library is not None else default_library(),
+            n_onchip=n_onchip,
+            area_weight=self.area_weight,
+            label=label,
+            seed=self.seed,
+        )
+        fingerprint = fingerprint_request(request)
+        hit = self.cache.get_report(fingerprint) is not None
+        result = self.cache.get_result(fingerprint)
+        seconds = 0.0
+        if result is None:
+            start = time.perf_counter()
+            result = request.run()
+            seconds = time.perf_counter() - start
+            if hit:
+                # A report-only hit (parallel or disk entry): keep the
+                # recomputed result so later callers get it for free.
+                self.cache.results.setdefault(fingerprint, result)
+        if hit:
+            self.cache.hits += 1
+        else:
+            self.cache.misses += 1
+            self.cache.store(fingerprint, result.report, result)
+        if result.report.label != label:
+            result = dataclasses.replace(
+                result,
+                allocation=dataclasses.replace(result.allocation, label=label),
+            )
+        record = ExplorationRecord(
+            point=DesignPoint(variant=program.name, label=label),
+            report=result.report,
+            fingerprint=fingerprint,
+            seconds=seconds,
+            cache_hit=hit,
+            step=step,
+            program_name=program.name,
+        )
+        self.records.append(record)
+        return record, result
+
+    # ------------------------------------------------------------------
+    def run(self, strategy: "SearchStrategy") -> ExplorationResult:  # noqa: F821
+        """Run a search strategy against this explorer."""
+        return strategy.run(self)
+
+    def pareto_front(self) -> List[CostReport]:
+        return pareto_front([record.report for record in self.records])

@@ -36,17 +36,26 @@ def pareto_front(reports: Sequence[CostReport]) -> List[CostReport]:
 
 
 def knee_point(front: Sequence[CostReport]) -> CostReport:
-    """The balanced choice: minimal normalized distance to the ideal."""
+    """The balanced choice: minimal normalized distance to the ideal.
+
+    Degenerate fronts short-circuit deterministically: a singleton front
+    returns its only member, and an axis with zero span contributes zero
+    distance for every member (rather than dividing the zero span into a
+    fake 1.0 unit, which would weight the axes asymmetrically).  A
+    fully degenerate front therefore returns its first member.
+    """
     if not front:
         raise ValueError("empty Pareto front")
+    if len(front) == 1:
+        return front[0]
     areas = [r.onchip_area_mm2 for r in front]
     powers = [r.total_power_mw for r in front]
-    area_span = max(areas) - min(areas) or 1.0
-    power_span = max(powers) - min(powers) or 1.0
+    area_span = max(areas) - min(areas)
+    power_span = max(powers) - min(powers)
 
     def distance(report: CostReport) -> float:
-        da = (report.onchip_area_mm2 - min(areas)) / area_span
-        dp = (report.total_power_mw - min(powers)) / power_span
+        da = (report.onchip_area_mm2 - min(areas)) / area_span if area_span else 0.0
+        dp = (report.total_power_mw - min(powers)) / power_span if power_span else 0.0
         return da * da + dp * dp
 
     return min(front, key=distance)

@@ -1,22 +1,28 @@
 """The system-level exploration session (the paper's contribution).
 
-An :class:`ExplorationSession` wraps the physical-memory-management
-feedback oracle with bookkeeping a designer needs while walking the
-stepwise methodology of Figure 1: every alternative evaluated is logged
-with its step name, cost report and wall-clock evaluation time, so the
-exploration tree can be rendered afterwards (our Figure 1 regeneration).
+An :class:`ExplorationSession` is the designer-facing decision log of
+the stepwise methodology of Figure 1: every alternative evaluated is
+recorded with its step name, cost report and wall-clock evaluation time,
+so the exploration tree can be rendered afterwards (our Figure 1
+regeneration).
+
+Since the ``repro.api`` redesign the session is a thin adapter over the
+:class:`~repro.explore.engine.Explorer` engine: evaluations flow through
+the engine's memoization cache (re-evaluating an identical alternative
+is free), and strategy runs (:class:`~repro.explore.strategies.GreedyStepwise`)
+can mirror their walk into a session for rendering.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from ..costs.report import CostReport
-from ..dtse.pipeline import PmmResult, run_pmm
+from ..dtse.pipeline import PmmResult
 from ..ir.program import Program
 from ..memlib.library import MemoryLibrary, default_library
+from .engine import ExplorationRecord, Explorer
 
 
 @dataclass
@@ -39,6 +45,12 @@ class ExplorationSession:
     frame_time_s: float
     library: MemoryLibrary = field(default_factory=default_library)
     evaluations: List[Evaluation] = field(default_factory=list)
+    #: The evaluation engine; a private serial one is created if omitted.
+    explorer: Optional[Explorer] = None
+
+    def __post_init__(self) -> None:
+        if self.explorer is None:
+            self.explorer = Explorer()
 
     def evaluate(
         self,
@@ -48,35 +60,55 @@ class ExplorationSession:
         cycle_budget: Optional[float] = None,
         n_onchip: Optional[int] = None,
     ) -> PmmResult:
-        """Run the feedback oracle and log the outcome."""
-        start = time.perf_counter()
-        result = run_pmm(
+        """Run the feedback oracle (memoized) and log the outcome."""
+        record, result = self.explorer.evaluate_program(
             program,
-            cycle_budget if cycle_budget is not None else self.cycle_budget,
-            self.frame_time_s,
+            label=label,
+            step=step,
+            cycle_budget=(
+                cycle_budget if cycle_budget is not None else self.cycle_budget
+            ),
+            frame_time_s=self.frame_time_s,
             library=self.library,
             n_onchip=n_onchip,
-            label=label,
         )
-        elapsed = time.perf_counter() - start
         self.evaluations.append(
             Evaluation(
                 step=step,
                 label=label,
                 program_name=program.name,
-                report=result.report,
-                seconds=elapsed,
+                report=record.report,
+                seconds=record.seconds,
             )
         )
         return result
 
+    def log_record(self, record: ExplorationRecord) -> Evaluation:
+        """Mirror an engine record into the decision log."""
+        evaluation = Evaluation(
+            step=record.step,
+            label=record.label,
+            program_name=record.program_name,
+            report=record.report,
+            seconds=record.seconds,
+        )
+        self.evaluations.append(evaluation)
+        return evaluation
+
     def choose(self, step: str, label: str) -> None:
-        """Mark one alternative of a step as the decision taken."""
+        """Mark one alternative of a step as the decision taken.
+
+        Re-choosing within a step moves the mark: any previously chosen
+        alternative of that step is cleared first, so exactly the
+        alternatives labelled ``label`` stay marked.
+        """
+        if not any(
+            e.step == step and e.label == label for e in self.evaluations
+        ):
+            raise KeyError(f"no evaluation {label!r} in step {step!r}")
         for evaluation in self.evaluations:
-            if evaluation.step == step and evaluation.label == label:
-                evaluation.chosen = True
-                return
-        raise KeyError(f"no evaluation {label!r} in step {step!r}")
+            if evaluation.step == step:
+                evaluation.chosen = evaluation.label == label
 
     def alternatives(self, step: str) -> List[Evaluation]:
         return [e for e in self.evaluations if e.step == step]

@@ -1,0 +1,232 @@
+"""Pluggable search strategies over a design space.
+
+Every strategy consumes an :class:`~repro.explore.engine.Explorer` and
+returns an :class:`~repro.explore.engine.ExplorationResult`; caching and
+parallelism live in the explorer, so strategies only decide *which*
+points to evaluate and in what order:
+
+* :class:`ExhaustiveSweep` — the whole cartesian product (or a given
+  subset), batch-evaluated.
+* :class:`GreedyStepwise` — the paper's Figure-1 walk: evaluate the
+  alternatives of one methodology step, commit to one, move on.  Steps
+  may generate their alternatives lazily from earlier decisions.
+* :class:`ParetoRefine` — evaluate a coarse corner sample, then expand
+  only around the current Pareto front until it stops moving.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from .engine import ExplorationRecord, ExplorationResult, Explorer
+from .pareto import pareto_front
+from .space import DesignPoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import ExplorationSession
+
+
+class SearchStrategy(abc.ABC):
+    """One policy for walking a design space."""
+
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def run(self, explorer: Explorer) -> ExplorationResult:
+        """Evaluate points through ``explorer`` and return the result."""
+
+    def _result(self, explorer: Explorer) -> ExplorationResult:
+        space_name = explorer.space.name if explorer.space is not None else ""
+        return ExplorationResult(space_name=space_name, strategy=self.name)
+
+
+# ----------------------------------------------------------------------
+class ExhaustiveSweep(SearchStrategy):
+    """Evaluate every point (optionally a fixed subset) in one batch."""
+
+    name = "exhaustive"
+
+    def __init__(
+        self,
+        points: Optional[Sequence[DesignPoint]] = None,
+        step: str = "Exhaustive sweep",
+    ) -> None:
+        self.points = list(points) if points is not None else None
+        self.step = step
+
+    def run(self, explorer: Explorer) -> ExplorationResult:
+        points = self.points if self.points is not None else explorer.space.points()
+        result = self._result(explorer)
+        result.records = explorer.evaluate_many(points, step=self.step)
+        return result
+
+
+# ----------------------------------------------------------------------
+def select_min_total_power(
+    records: Sequence[ExplorationRecord],
+) -> ExplorationRecord:
+    """Default greedy criterion: cheapest total power."""
+    return min(records, key=lambda record: record.report.total_power_mw)
+
+
+@dataclass
+class GreedyContext:
+    """What a lazy step generator gets to see."""
+
+    explorer: Explorer
+    chosen: Dict[str, ExplorationRecord] = field(default_factory=dict)
+
+    def chosen_point(self, step: str) -> DesignPoint:
+        return self.chosen[step].point
+
+
+@dataclass
+class GreedyStep:
+    """One methodology step: alternatives plus a selection rule.
+
+    ``points`` is either a fixed list or a callable receiving the
+    :class:`GreedyContext` (so alternatives can depend on earlier
+    decisions).  ``select`` is either the label of the alternative to
+    commit to (the paper's designer decisions are fixed) or a callable
+    picking from the step's records.
+    """
+
+    name: str
+    points: Union[
+        Sequence[DesignPoint], Callable[[GreedyContext], Sequence[DesignPoint]]
+    ]
+    select: Union[str, Callable[[Sequence[ExplorationRecord]], ExplorationRecord]] = (
+        select_min_total_power
+    )
+
+    def alternatives(self, context: GreedyContext) -> List[DesignPoint]:
+        if callable(self.points):
+            return list(self.points(context))
+        return list(self.points)
+
+    def decide(self, records: Sequence[ExplorationRecord]) -> ExplorationRecord:
+        if callable(self.select):
+            return self.select(records)
+        for record in records:
+            if record.label == self.select:
+                return record
+        raise KeyError(f"step {self.name!r} has no alternative {self.select!r}")
+
+
+@dataclass
+class StepOutcome:
+    """The evaluated alternatives and decision of one greedy step."""
+
+    step: str
+    records: List[ExplorationRecord]
+    chosen: ExplorationRecord
+
+
+class GreedyStepwise(SearchStrategy):
+    """The paper's stepwise feedback walk (Figure 1) as a strategy.
+
+    Pass a :class:`~repro.explore.session.ExplorationSession` to mirror
+    every evaluation and decision into the legacy decision log (the
+    exploration-tree rendering feeds off it).
+    """
+
+    name = "greedy-stepwise"
+
+    def __init__(
+        self,
+        steps: Sequence[GreedyStep],
+        session: Optional["ExplorationSession"] = None,
+    ) -> None:
+        self.steps = list(steps)
+        self.session = session
+        self.outcomes: List[StepOutcome] = []
+
+    def run(self, explorer: Explorer) -> ExplorationResult:
+        context = GreedyContext(explorer=explorer)
+        result = self._result(explorer)
+        self.outcomes = []
+        for step in self.steps:
+            points = step.alternatives(context)
+            records = explorer.evaluate_many(points, step=step.name)
+            chosen = step.decide(records)
+            context.chosen[step.name] = chosen
+            self.outcomes.append(
+                StepOutcome(step=step.name, records=records, chosen=chosen)
+            )
+            if self.session is not None:
+                for record in records:
+                    self.session.log_record(record)
+                self.session.choose(step.name, chosen.label)
+            result.records.extend(records)
+            result.decisions[step.name] = chosen.label
+        return result
+
+
+# ----------------------------------------------------------------------
+class ParetoRefine(SearchStrategy):
+    """Expand the design space only around the current Pareto front.
+
+    Starts from a seed sample (the axis corners by default), computes
+    the front over everything evaluated so far, then evaluates the
+    axis-neighbours of front points — repeating until the front stops
+    acquiring new points or ``max_rounds`` is hit.  On smooth cost
+    surfaces this reaches the exhaustive front at a fraction of the
+    evaluations.
+    """
+
+    name = "pareto-refine"
+
+    def __init__(
+        self,
+        seed_points: Optional[Sequence[DesignPoint]] = None,
+        max_rounds: int = 8,
+        step: str = "Pareto refinement",
+    ) -> None:
+        self.seed_points = list(seed_points) if seed_points is not None else None
+        self.max_rounds = max_rounds
+        self.step = step
+
+    def run(self, explorer: Explorer) -> ExplorationResult:
+        space = explorer.space
+        result = self._result(explorer)
+        frontier = (
+            self.seed_points if self.seed_points is not None else space.corners()
+        )
+        evaluated: Dict[DesignPoint, ExplorationRecord] = {}
+        attempted: set = set()
+        for round_index in range(self.max_rounds):
+            new_points = list(
+                dict.fromkeys(
+                    point for point in frontier if point not in attempted
+                )
+            )
+            if not new_points:
+                break
+            attempted.update(new_points)
+            records = explorer.evaluate_many(
+                new_points, step=f"{self.step} (round {round_index + 1})"
+            )
+            # Pair via record.point: with on_error="skip" the explorer
+            # may return fewer records than points were submitted.
+            for record in records:
+                evaluated[record.point] = record
+                result.records.append(record)
+            front_reports = pareto_front(
+                [record.report for record in evaluated.values()]
+            )
+            front_ids = {id(report) for report in front_reports}
+            frontier = []
+            for point, record in evaluated.items():
+                if id(record.report) in front_ids:
+                    frontier.extend(space.neighbors(point))
+        return result

@@ -1,0 +1,90 @@
+"""JSON round-trips for cost reports and exploration records."""
+
+import json
+
+import pytest
+
+from repro.api import CostReport, DesignPoint, ExplorationRecord, MemoryCost
+from repro.memlib import MemoryKind
+
+
+def _memory(name="sram0", kind=MemoryKind.ONCHIP):
+    return MemoryCost(
+        name=name,
+        kind=kind,
+        words=2048,
+        width=16,
+        ports=2,
+        area_mm2=1.25,
+        power_mw=3.5,
+        groups=("pyr", "ridge"),
+        access_rate_hz=1.5e6,
+    )
+
+
+def test_memory_cost_round_trip():
+    memory = _memory()
+    data = memory.to_dict()
+    json.dumps(data)  # must be JSON-serializable as-is
+    assert MemoryCost.from_dict(data) == memory
+
+
+def test_memory_cost_kind_survives():
+    offchip = _memory("dram0", MemoryKind.OFFCHIP)
+    restored = MemoryCost.from_dict(offchip.to_dict())
+    assert restored.kind is MemoryKind.OFFCHIP
+
+
+def test_cost_report_round_trip():
+    report = CostReport(
+        label="merged",
+        memories=(_memory(), _memory("dram0", MemoryKind.OFFCHIP)),
+        cycles_used=123456.0,
+        cycle_budget=200000.0,
+        notes="designer note",
+    )
+    restored = CostReport.from_dict(report.to_dict())
+    assert restored == report
+    assert restored.onchip_area_mm2 == report.onchip_area_mm2
+    assert restored.offchip_power_mw == report.offchip_power_mw
+
+
+def test_cost_report_round_trip_empty_memories():
+    report = CostReport(label="empty")
+    restored = CostReport.from_dict(report.to_dict())
+    assert restored == report
+    assert restored.memories == ()
+    assert restored.total_power_mw == 0.0
+
+
+def test_cost_report_non_ascii_label():
+    report = CostReport(label="π-mémoire ✓ 設計", notes="コメント")
+    text = json.dumps(report.to_dict(), ensure_ascii=False)
+    restored = CostReport.from_dict(json.loads(text))
+    assert restored.label == "π-mémoire ✓ 設計"
+    assert restored == report
+
+
+def test_exploration_record_round_trip():
+    record = ExplorationRecord(
+        point=DesignPoint(
+            variant="merged", budget_fraction=0.85, n_onchip=8, label="8 memories"
+        ),
+        report=CostReport(label="8 memories", memories=(_memory(),)),
+        fingerprint="f" * 64,
+        seconds=1.25,
+        cache_hit=True,
+        step="Memory allocation",
+        program_name="btpc",
+    )
+    restored = ExplorationRecord.from_dict(record.to_dict())
+    assert restored == record
+    assert restored.point.n_onchip == 8
+    assert restored.label == "8 memories"
+
+
+def test_from_dict_rejects_missing_required_keys():
+    with pytest.raises(KeyError):
+        CostReport.from_dict({})
+    with pytest.raises(KeyError):
+        MemoryCost.from_dict({"name": "x"})

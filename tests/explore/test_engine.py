@@ -1,0 +1,290 @@
+"""The exploration engine: memoization, parallelism, strategies.
+
+Uses a small FIR-style design space (12 points) so every test exercises
+the real ``run_pmm`` oracle while staying fast.
+"""
+
+import pytest
+
+from repro.api import (
+    DesignSpace,
+    EvaluationCache,
+    ExhaustiveSweep,
+    ExplorationRecord,
+    ExplorationResult,
+    Explorer,
+    GreedyStep,
+    GreedyStepwise,
+    ParetoRefine,
+    ProgramBuilder,
+    dominates,
+    fingerprint_request,
+    pareto_front,
+)
+
+
+def _fir_program(taps):
+    builder = ProgramBuilder(f"fir{taps}")
+    builder.array("samples", shape=(4096,), bitwidth=12)
+    builder.array("coeffs", shape=(32,), bitwidth=16)
+    builder.array("output", shape=(4096,), bitwidth=16)
+    nest = builder.nest("filter", iterators=("i",), trips=(4096,))
+    sample = nest.read("samples", index=("i",))
+    taps_read = nest.read("coeffs", mult=float(taps), after=[sample], label="taps")
+    nest.write("output", index=("i",), after=[taps_read])
+    return builder.build()
+
+
+def _fir_space():
+    space = DesignSpace(
+        "fir",
+        cycle_budget=50_000,
+        frame_time_s=1e-3,
+        budget_fractions=(1.0, 0.9, 0.8),
+        onchip_counts=(None, 2),
+    )
+    space.add_variant("taps8", build=lambda: _fir_program(8))
+    space.add_variant("taps4", build=lambda: _fir_program(4))
+    return space
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    """One serial exhaustive sweep shared by the comparison tests."""
+    explorer = Explorer(_fir_space())
+    return explorer.run(ExhaustiveSweep()), explorer
+
+
+# ----------------------------------------------------------------------
+# Memoization
+# ----------------------------------------------------------------------
+def test_sweep_covers_space_and_misses_cold_cache(serial_result):
+    result, explorer = serial_result
+    assert len(result.records) == 12
+    assert result.cache_hit_count() == 0
+    assert explorer.cache.misses == 12
+
+
+def test_rerun_is_all_cache_hits(serial_result):
+    result, explorer = serial_result
+    rerun = explorer.run(ExhaustiveSweep())
+    assert rerun.cache_hit_count() == len(rerun.records) == 12
+    assert [r.report.to_dict() for r in rerun.records] == [
+        r.report.to_dict() for r in result.records
+    ]
+    assert all(record.seconds == 0.0 for record in rerun.records)
+
+
+def test_fingerprint_ignores_label_but_not_knobs(serial_result):
+    _, explorer = serial_result
+    point = explorer.space.point("taps8")
+    base = fingerprint_request(explorer.request_for(point))
+    relabeled = fingerprint_request(
+        explorer.request_for(point.relabeled("something else"))
+    )
+    other = fingerprint_request(
+        explorer.request_for(explorer.space.point("taps8", n_onchip=2))
+    )
+    assert base == relabeled
+    assert base != other
+
+
+def test_cache_persists_to_disk(tmp_path):
+    space = _fir_space()
+    first = Explorer(space, cache=EvaluationCache(path=tmp_path / "cache"))
+    first.run(ExhaustiveSweep())
+    second = Explorer(space, cache=EvaluationCache(path=tmp_path / "cache"))
+    rerun = second.run(ExhaustiveSweep())
+    assert rerun.cache_hit_count() == len(rerun.records)
+    assert second.cache.misses == 0
+
+
+# ----------------------------------------------------------------------
+# Parallelism / determinism guard
+# ----------------------------------------------------------------------
+def test_parallel_sweep_matches_serial(serial_result):
+    """workers=1 and workers=4 must produce identical cost reports."""
+    result, _ = serial_result
+    parallel = Explorer(_fir_space(), workers=4)
+    parallel_result = parallel.run(ExhaustiveSweep())
+    assert [r.report.to_dict() for r in parallel_result.records] == [
+        r.report.to_dict() for r in result.records
+    ]
+    assert [r.fingerprint for r in parallel_result.records] == [
+        r.fingerprint for r in result.records
+    ]
+    serial_front = [r.report.to_dict() for r in result.pareto_front()]
+    parallel_front = [r.report.to_dict() for r in parallel_result.pareto_front()]
+    assert serial_front == parallel_front
+
+
+def test_parallel_rerun_hits_cache(serial_result):
+    parallel = Explorer(_fir_space(), workers=2)
+    parallel.run(ExhaustiveSweep())
+    rerun = parallel.run(ExhaustiveSweep())
+    assert rerun.cache_hit_count() == len(rerun.records)
+    restored = ExplorationResult.from_json(rerun.to_json())
+    assert restored.to_dict() == rerun.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Result sets
+# ----------------------------------------------------------------------
+def test_result_serialization_round_trip(serial_result, tmp_path):
+    result, _ = serial_result
+    path = tmp_path / "result.json"
+    result.to_json(path)
+    loaded = ExplorationResult.from_json(path)
+    assert loaded.to_dict() == result.to_dict()
+    from_text = ExplorationResult.from_json(result.to_json())
+    assert from_text.to_dict() == result.to_dict()
+
+
+def test_front_and_knee_are_records(serial_result):
+    result, _ = serial_result
+    front = result.pareto_front()
+    assert front
+    for record in front:
+        assert isinstance(record, ExplorationRecord)
+        assert not any(
+            dominates(other.report, record.report) for other in result.records
+        )
+    knee = result.knee_point()
+    assert knee in front
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def test_greedy_stepwise_decides_each_step():
+    space = _fir_space()
+    explorer = Explorer(space)
+    steps = [
+        GreedyStep("variant", points=[space.point("taps8"), space.point("taps4")]),
+        GreedyStep(
+            "allocation",
+            points=lambda ctx: [
+                space.point(ctx.chosen_point("variant").variant, n_onchip=count)
+                for count in (None, 2)
+            ],
+            select=lambda records: records[-1],
+        ),
+    ]
+    result = explorer.run(GreedyStepwise(steps))
+    assert set(result.decisions) == {"variant", "allocation"}
+    # taps4 halves the coeff traffic: greedy min-power must pick it.
+    assert result.decisions["variant"] == "taps4"
+    assert result.decisions["allocation"].startswith("taps4")
+    assert len(result.records) == 4
+
+
+def test_greedy_unknown_label_raises():
+    space = _fir_space()
+    explorer = Explorer(space)
+    walk = GreedyStepwise(
+        [GreedyStep("s", points=[space.point("taps8")], select="nope")]
+    )
+    with pytest.raises(KeyError):
+        walk.run(explorer)
+
+
+def test_infeasible_points_raise_by_default():
+    space = _fir_space()
+    explorer = Explorer(space)
+    # The FIR program has three basic groups; asking for ten on-chip
+    # memories is infeasible for the allocator.
+    with pytest.raises(Exception):
+        explorer.evaluate(space.point("taps8", n_onchip=10))
+
+
+def test_infeasible_points_skippable():
+    space = _fir_space()
+    explorer = Explorer(space, on_error="skip")
+    points = [space.point("taps8"), space.point("taps8", n_onchip=10)]
+    records = explorer.evaluate_many(points)
+    assert len(records) == 1
+    assert records[0].point == points[0]
+    assert len(explorer.failures) == 1
+    assert explorer.failures[0][0] == points[1]
+    # The failure is negatively cached: retrying does not re-run the
+    # oracle and does not duplicate the failure entry.
+    again = explorer.evaluate_many(points)
+    assert len(again) == 1 and again[0].cache_hit
+    assert len(explorer.failures) == 1
+
+
+def test_infeasible_points_skippable_parallel():
+    space = _fir_space()
+    explorer = Explorer(space, workers=2, on_error="skip")
+    points = [space.point("taps8"), space.point("taps8", n_onchip=10)]
+    records = explorer.evaluate_many(points)
+    assert len(records) == 1
+    assert len(explorer.failures) == 1
+    assert "10" in explorer.failures[0][1]
+
+
+def test_pareto_refine_with_skipped_points_keeps_pairing():
+    space = DesignSpace(
+        "fir-sparse",
+        cycle_budget=50_000,
+        frame_time_s=1e-3,
+        budget_fractions=(1.0, 0.9),
+        onchip_counts=(2, 10),  # 10 is infeasible for a 3-group program
+    )
+    space.add_variant("taps8", build=lambda: _fir_program(8))
+    space.add_variant("taps4", build=lambda: _fir_program(4))
+    explorer = Explorer(space, on_error="skip")
+    result = explorer.run(ParetoRefine())
+    # Every record maps back to its own point (no positional drift),
+    # and failed points are attempted once, not once per round.
+    for record in result.records:
+        assert record.point.n_onchip == 2
+        assert record.program_name == f"fir{record.point.variant[-1]}"
+    failed_points = [point for point, _ in explorer.failures]
+    assert len(failed_points) == len(set(failed_points))
+
+
+def test_evaluate_program_retains_result_after_parallel_fill():
+    space = _fir_space()
+    explorer = Explorer(space, workers=2)
+    explorer.run(ExhaustiveSweep())  # parallel: cache holds reports only
+    point = space.point("taps8")
+    fingerprint = explorer.evaluate(point).fingerprint
+    assert explorer.cache.get_result(fingerprint) is None
+    record, result = explorer.evaluate_program(
+        space.program("taps8"),
+        label="relabeled",
+        cycle_budget=space.cycle_budget,
+        frame_time_s=space.frame_time_s,
+    )
+    assert record.cache_hit
+    # The recomputed PmmResult is kept for later callers, and the
+    # returned result carries the caller's label.
+    assert explorer.cache.get_result(fingerprint) is not None
+    assert result.report.label == "relabeled"
+    _, second = explorer.evaluate_program(
+        space.program("taps8"),
+        label="again",
+        cycle_budget=space.cycle_budget,
+        frame_time_s=space.frame_time_s,
+    )
+    assert second.report.label == "again"
+
+
+def test_pareto_refine_stays_inside_space_and_reuses_cache():
+    space = _fir_space()
+    explorer = Explorer(space)
+    exhaustive = explorer.run(ExhaustiveSweep())
+    refined = explorer.run(ParetoRefine())
+    assert refined.records  # evaluated something
+    assert refined.cache_hit_count() == len(refined.records)  # all memoized
+    assert len({r.point for r in refined.records}) == len(refined.records)
+    front_reports = [r.report for r in refined.pareto_front()]
+    assert front_reports == pareto_front(front_reports)  # mutually non-dominated
+    exhaustive_front = {
+        (r.report.onchip_area_mm2, r.report.total_power_mw)
+        for r in exhaustive.pareto_front()
+    }
+    for record in refined.pareto_front():
+        key = (record.report.onchip_area_mm2, record.report.total_power_mw)
+        assert key in exhaustive_front

@@ -58,6 +58,24 @@ def test_knee_point_in_front():
         knee_point([])
 
 
+def test_knee_point_singleton_front():
+    only = _report("only", 3.0, 3.0)
+    assert knee_point([only]) is only
+
+
+def test_knee_point_all_equal_front_is_deterministic():
+    front = [_report("first", 2.0, 2.0), _report("second", 2.0, 2.0),
+             _report("third", 2.0, 2.0)]
+    assert knee_point(front) is front[0]
+
+
+def test_knee_point_zero_span_axis():
+    # All areas equal: only the power axis discriminates, and the zero
+    # area span must not bias the distance.
+    front = [_report("hot", 2.0, 9.0), _report("cool", 2.0, 1.0)]
+    assert knee_point(front).label == "cool"
+
+
 def test_session_logs_and_chooses(btpc_program, constraints):
     session = ExplorationSession(
         cycle_budget=constraints.cycle_budget,
@@ -72,6 +90,37 @@ def test_session_logs_and_chooses(btpc_program, constraints):
         session.choose("step A", "missing")
     tree = session.render_tree()
     assert "step A" in tree and "=>" in tree
+
+
+def test_rechoosing_clears_previous_choice(btpc_program, constraints):
+    session = ExplorationSession(
+        cycle_budget=constraints.cycle_budget,
+        frame_time_s=constraints.frame_time_s,
+    )
+    session.evaluate(btpc_program, "step A", "alt 1")
+    session.evaluate(btpc_program, "step A", "alt 2")
+    session.evaluate(btpc_program, "step B", "other")
+    session.choose("step A", "alt 1")
+    session.choose("step A", "alt 2")  # the designer changes their mind
+    assert [e.chosen for e in session.alternatives("step A")] == [False, True]
+    session.choose("step B", "other")
+    session.choose("step A", "alt 1")  # and back again
+    assert [e.chosen for e in session.alternatives("step A")] == [True, False]
+    # Choosing in one step never disturbs another step's decision.
+    assert [e.chosen for e in session.alternatives("step B")] == [True]
+
+
+def test_session_memoizes_repeated_evaluations(btpc_program, constraints):
+    session = ExplorationSession(
+        cycle_budget=constraints.cycle_budget,
+        frame_time_s=constraints.frame_time_s,
+    )
+    first = session.evaluate(btpc_program, "step A", "alt 1")
+    second = session.evaluate(btpc_program, "step A", "alt 1 again")
+    assert session.explorer.cache.hits == 1
+    assert first.report.memories == second.report.memories
+    # The decision log keeps per-alternative labels even across cache hits.
+    assert [e.report.label for e in session.evaluations] == ["alt 1", "alt 1 again"]
 
 
 def test_render_cost_table_layout():
