@@ -11,3 +11,14 @@ import sys
 _SRC = pathlib.Path(__file__).parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    """Register the golden-file harness flag (see tests/golden/)."""
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json snapshots from live results "
+        "instead of diffing against them",
+    )

@@ -20,7 +20,8 @@ Subpackages::
                     structuring and hierarchy transforms
     repro.explore   the exploration subsystem behind the facade: design
                     spaces, the evaluation engine, strategies, sessions
-    repro.apps      demonstrators: the BTPC codec and motion estimation
+    repro.apps      the workload registry and demonstrators: BTPC codec,
+                    motion estimation, cavity detection, 2-D wavelet
 """
 
 from . import api, apps, costs, dtse, explore, ir, memlib, profiling

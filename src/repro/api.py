@@ -16,8 +16,10 @@
 
 The pieces:
 
-* **Describe** the application with :class:`ProgramBuilder` (or reuse a
-  demonstrator such as :class:`BtpcStudy`).
+* **Describe** the application with :class:`ProgramBuilder`, or pull a
+  registered workload by name — :func:`list_apps` / :func:`get_app` /
+  ``DesignSpace.for_app("wavelet")`` — from the workload registry
+  (:mod:`repro.apps.registry`).
 * **Declare** the alternatives as a :class:`DesignSpace`: program
   variants (named transform thunks), cycle-budget fractions, on-chip
   memory counts and technology libraries.
@@ -31,6 +33,7 @@ The pieces:
   :class:`CostReport` round-trip through JSON).
 """
 
+from .apps.registry import AppSpec, Transform, get_app, list_apps, register_app
 from .costs.report import CostReport, MemoryCost, render_cost_table
 from .dtse.macp import analyze_macp
 from .dtse.pipeline import PmmRequest, PmmResult, run_pmm, run_pmm_request
@@ -57,6 +60,7 @@ from .ir import Program, ProgramBuilder
 from .memlib.library import MemoryLibrary, default_library
 
 __all__ = [
+    "AppSpec",
     "BtpcStudy",
     "CostReport",
     "DesignPoint",
@@ -80,12 +84,16 @@ __all__ = [
     "ProgramBuilder",
     "ProgramVariant",
     "SearchStrategy",
+    "Transform",
     "analyze_macp",
     "default_library",
     "dominates",
     "fingerprint_request",
+    "get_app",
     "knee_point",
+    "list_apps",
     "pareto_front",
+    "register_app",
     "render_cost_table",
     "run_pmm",
     "run_pmm_request",

@@ -1,5 +1,21 @@
-"""Demonstrator applications."""
+"""Demonstrator applications and the workload registry.
 
-from . import btpc, motion
+Importing this package registers the built-in workloads (btpc, cavity,
+motion, wavelet), making them addressable by name through
+:func:`get_app` / :meth:`~repro.explore.space.DesignSpace.for_app`.
+"""
 
-__all__ = ["btpc", "motion"]
+from .registry import AppSpec, Transform, get_app, list_apps, register_app
+from . import btpc, cavity, motion, wavelet  # noqa: E402 - registration
+
+__all__ = [
+    "AppSpec",
+    "Transform",
+    "btpc",
+    "cavity",
+    "get_app",
+    "list_apps",
+    "motion",
+    "register_app",
+    "wavelet",
+]

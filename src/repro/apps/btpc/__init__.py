@@ -23,8 +23,10 @@ from .spec import (
     upper_detail_count,
     upper_pyramid_words,
 )
+from .app import APP, build_btpc_space  # noqa: E402 - needs .spec loaded
 
 __all__ = [
+    "APP",
     "AdaptiveHuffman",
     "BitReader",
     "BitWriter",
@@ -35,6 +37,7 @@ __all__ = [
     "CodecConfig",
     "EncodeResult",
     "build_btpc_program",
+    "build_btpc_space",
     "images",
     "profile_btpc",
     "upper_detail_count",

@@ -1,0 +1,6 @@
+"""Cavity-detection workload (medical-imaging filter chain)."""
+
+from .app import APP
+from .spec import CavityConstraints, build_cavity_program
+
+__all__ = ["APP", "CavityConstraints", "build_cavity_program"]

@@ -1,0 +1,83 @@
+"""Registry entry for the cavity-detection workload.
+
+The transform variants reuse the generic DTSE machinery: hierarchy
+layers (line buffers / register windows) on the inter-stage stencils,
+and compaction of the 2-bit seed flags.
+"""
+
+from __future__ import annotations
+
+from ...dtse.hierarchy import apply_hierarchy
+from ...dtse.structuring import compact_group
+from ...ir.program import Program
+from ..registry import AppSpec, Transform, register_app
+from .spec import CavityConstraints, build_cavity_program
+
+
+def _gauss_line_buffer(program: Program, constraints) -> Program:
+    return apply_hierarchy(
+        program, "gauss_y", "gauss_x",
+        use_registers=False, use_rowbuffer=True,
+    )
+
+
+def _edge_registers(program: Program, constraints) -> Program:
+    return apply_hierarchy(
+        program, "comp_edge", "gauss_xy",
+        use_registers=True, use_rowbuffer=False,
+    )
+
+
+def _full_line_buffering(program: Program, constraints) -> Program:
+    """Line-buffer every inter-stage stencil (distinct layer names)."""
+    program = apply_hierarchy(
+        program, "gauss_y", "gauss_x",
+        use_registers=False, use_rowbuffer=True, rowbuffer_layer="gybuf",
+    )
+    program = apply_hierarchy(
+        program, "comp_edge", "gauss_xy",
+        use_registers=False, use_rowbuffer=True, rowbuffer_layer="cebuf",
+    )
+    return apply_hierarchy(
+        program, "detect_roots", "comp_edge",
+        use_registers=False, use_rowbuffer=True, rowbuffer_layer="drbuf",
+    )
+
+
+def _packed_roots(program: Program, constraints) -> Program:
+    return compact_group(program, "roots", 8)
+
+
+APP = register_app(
+    AppSpec(
+        name="cavity",
+        title="cavity detection (medical imaging filter chain)",
+        description=(
+            "Multi-stage 3x3 neighborhood kernels over endoscopic video; "
+            "every stage streams a full-frame intermediate, so the cost "
+            "is dominated by inter-stage array reuse."
+        ),
+        constraints_factory=CavityConstraints,
+        build_program=build_cavity_program,
+        transforms=(
+            Transform(
+                "gauss line buffer", _gauss_line_buffer,
+                "row buffer between the two Gaussian passes",
+            ),
+            Transform(
+                "edge registers", _edge_registers,
+                "register window feeding the 3x3 edge detector",
+            ),
+            Transform(
+                "full line buffering", _full_line_buffering,
+                "row buffers on every inter-stage stencil",
+            ),
+            Transform(
+                "packed roots x8", _packed_roots,
+                "eight 2-bit seed flags per 16-bit word",
+            ),
+        ),
+        budget_fractions=(1.0, 0.9),
+        onchip_counts=(None, 6),
+    )
+)

@@ -1,0 +1,129 @@
+"""Cavity detection: the classic medical-imaging DTSE demonstrator.
+
+A multi-stage neighborhood filter chain over an endoscopic image — the
+cavity detector that drove much of the IMEC data-transfer-and-storage
+work.  Every stage consumes the previous stage's full-frame array with a
+small stencil, so the memory story is dominated by *inter-stage* array
+traffic: each frame-sized intermediate lives off-chip unless a line
+buffer or register window (the hierarchy transforms) intercepts the
+reuse.
+
+The stages, each one loop nest:
+
+1. ``gauss_x``  — horizontal 3-tap Gaussian blur of the input image,
+2. ``gauss_y``  — vertical 3-tap pass (three live DRAM rows),
+3. ``comp_edge`` — 3x3 maximum-difference edge detector,
+4. ``detect_roots`` — 3x3 local-minimum test marking cavity seeds,
+5. ``max_value`` — frame maximum for the adaptive threshold (a
+   foreground accumulator, like the paper's SAD register).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...ir import Program, ProgramBuilder
+
+
+@dataclass(frozen=True)
+class CavityConstraints:
+    """Endoscopic video frame, real-time detection rate."""
+
+    image_width: int = 640
+    image_height: int = 400
+    frame_rate_hz: float = 25.0
+    clock_hz: float = 250e6
+
+    @property
+    def pixels(self) -> int:
+        return self.image_width * self.image_height
+
+    @property
+    def frame_time_s(self) -> float:
+        return 1.0 / self.frame_rate_hz
+
+    @property
+    def cycle_budget(self) -> int:
+        return int(self.clock_hz * self.frame_time_s)
+
+
+def build_cavity_program(
+    constraints: CavityConstraints = CavityConstraints(),
+) -> Program:
+    """The pruned cavity-detection specification."""
+    c = constraints
+    h, w = c.image_height, c.image_width
+    builder = ProgramBuilder(
+        "cavity",
+        description=(
+            f"cavity detection filter chain, {w}x{h}"
+            f" @ {c.frame_rate_hz:.1f} Hz"
+        ),
+    )
+    builder.array("image", (h, w), 8, "input endoscopic frame")
+    builder.array("gauss_x", (h, w), 8, "horizontally blurred frame")
+    builder.array("gauss_xy", (h, w), 8, "fully blurred frame")
+    builder.array("comp_edge", (h, w), 8, "maximum-difference edge image")
+    builder.array("roots", (h, w), 2, "cavity seed flags")
+    builder.array("maxv", (1,), 8, "frame maximum for thresholding")
+
+    nest = builder.nest("load", ("y", "x"), (h, w),
+                        description="stream the frame in")
+    nest.write("image", index=("y", "x"), label="img_ld")
+
+    # Horizontal blur: a 1x3 window sliding along the row.
+    nest = builder.nest("gauss_x", ("y", "x"), (h, w),
+                        description="horizontal 3-tap Gaussian")
+    west = nest.read("image", index=("y", "x-1"), label="gx_w")
+    mid = nest.read("image", index=("y", "x"), label="gx_c")
+    east = nest.read("image", index=("y", "x+1"), label="gx_e")
+    nest.write("gauss_x", index=("y", "x"), label="gx_o",
+               after=[west, mid, east])
+
+    # Vertical blur: a 3x1 window; the off-chip stream keeps three DRAM
+    # rows alive per access (the page-locality cost).
+    nest = builder.nest("gauss_y", ("y", "x"), (h, w),
+                        description="vertical 3-tap Gaussian")
+    north = nest.read("gauss_x", index=("y-1", "x"), rows=3, label="gy_n")
+    mid = nest.read("gauss_x", index=("y", "x"), label="gy_c")
+    south = nest.read("gauss_x", index=("y+1", "x"), rows=3, label="gy_s")
+    nest.write("gauss_xy", index=("y", "x"), label="gy_o",
+               after=[north, mid, south])
+
+    # Edge detection: maximum absolute difference over the 3x3
+    # neighborhood; the diagonal sites walk two corners each.
+    nest = builder.nest("comp_edge", ("y", "x"), (h, w),
+                        description="3x3 maximum-difference edges")
+    centre = nest.read("gauss_xy", index=("y", "x"), label="ce_c")
+    west = nest.read("gauss_xy", index=("y", "x-1"), label="ce_w")
+    east = nest.read("gauss_xy", index=("y", "x+1"), label="ce_e")
+    north = nest.read("gauss_xy", index=("y-1", "x"), rows=3, label="ce_n")
+    south = nest.read("gauss_xy", index=("y+1", "x"), rows=3, label="ce_s")
+    nw = nest.read("gauss_xy", index=("y-1", "x-1"), mult=2, rows=3,
+                   label="ce_nw")
+    se = nest.read("gauss_xy", index=("y+1", "x+1"), mult=2, rows=3,
+                   label="ce_se")
+    nest.write("comp_edge", index=("y", "x"), label="ce_o",
+               after=[centre, west, east, north, south, nw, se])
+
+    # Root detection: a pixel seeds a cavity when it is the local
+    # minimum of its 3x3 edge neighborhood.
+    nest = builder.nest("detect_roots", ("y", "x"), (h, w),
+                        description="local-minimum cavity seeds")
+    centre = nest.read("comp_edge", index=("y", "x"), label="dr_c")
+    west = nest.read("comp_edge", index=("y", "x-1"), label="dr_w")
+    east = nest.read("comp_edge", index=("y", "x+1"), label="dr_e")
+    north = nest.read("comp_edge", index=("y-1", "x"), rows=3, label="dr_n")
+    south = nest.read("comp_edge", index=("y+1", "x"), rows=3, label="dr_s")
+    nest.write("roots", index=("y", "x"), label="dr_o",
+               after=[centre, west, east, north, south])
+
+    # Adaptive threshold support: the frame maximum lives in a datapath
+    # register (foreground), updated while the edge image streams past.
+    nest = builder.nest("max_value", ("y", "x"), (h, w),
+                        description="frame maximum of the edge image")
+    edge = nest.read("comp_edge", index=("y", "x"), label="mv_r")
+    nest.write("maxv", prob=1.0 / 256.0, label="mv_w", foreground=True,
+               after=[edge])
+
+    return builder.build()

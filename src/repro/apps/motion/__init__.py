@@ -1,5 +1,6 @@
 """Full-search motion estimation workload."""
 
+from .app import APP
 from .spec import MotionConstraints, build_motion_program
 
-__all__ = ["MotionConstraints", "build_motion_program"]
+__all__ = ["APP", "MotionConstraints", "build_motion_program"]

@@ -1,0 +1,48 @@
+"""Registry entry for the motion-estimation workload.
+
+Motion estimation has no structuring alternatives worth sweeping (its
+arrays are already flat streams); its interesting axis is the placement
+*policy* — whether the frame stores live on-chip (huge macros) or
+off-chip (tiny die, DRAM power) — expressed as a library axis.
+"""
+
+from __future__ import annotations
+
+from ...memlib.library import MemoryLibrary
+from ..registry import AppSpec, register_app
+from .spec import MotionConstraints, build_motion_program
+
+#: Word-count placement thresholds: 65536 keeps the QCIF frames
+#: (25,344 words) on-chip, 16384 pushes them to DRAM.
+FRAMES_ONCHIP_THRESHOLD = 65536
+FRAMES_OFFCHIP_THRESHOLD = 16384
+
+
+def motion_libraries():
+    return {
+        "frames on-chip": MemoryLibrary(
+            offchip_word_threshold=FRAMES_ONCHIP_THRESHOLD
+        ),
+        "frames off-chip": MemoryLibrary(
+            offchip_word_threshold=FRAMES_OFFCHIP_THRESHOLD
+        ),
+    }
+
+
+APP = register_app(
+    AppSpec(
+        name="motion",
+        title="full-search motion estimation",
+        description=(
+            "QCIF full-search block matching, +/-4 pel: read-dominated "
+            "reference traffic with massive reuse, swept across the "
+            "frame-placement policy axis."
+        ),
+        constraints_factory=MotionConstraints,
+        build_program=build_motion_program,
+        baseline="full-search",
+        budget_fractions=(1.0, 0.9),
+        onchip_counts=(None, 2, 4),
+        libraries_factory=motion_libraries,
+    )
+)

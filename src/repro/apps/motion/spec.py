@@ -29,6 +29,19 @@ class MotionConstraints:
     frame_rate_hz: float = 12.5
     clock_hz: float = 60e6
 
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+        if (
+            self.frame_width % self.block_size
+            or self.frame_height % self.block_size
+        ):
+            raise ValueError(
+                f"frame {self.frame_width}x{self.frame_height} is not "
+                f"divisible by block_size {self.block_size}: the edge "
+                "blocks would be silently dropped from the block count"
+            )
+
     @property
     def blocks(self) -> int:
         return (self.frame_width // self.block_size) * (

@@ -1,0 +1,6 @@
+"""2-D wavelet / subband transform workload."""
+
+from .app import APP
+from .spec import WaveletConstraints, build_wavelet_program
+
+__all__ = ["APP", "WaveletConstraints", "build_wavelet_program"]

@@ -1,0 +1,62 @@
+"""Registry entry for the 2-D wavelet workload.
+
+The headline variant pair is the column-pass iteration order (the
+page-locality stress case versus its row-ordered rewrite); the others
+reuse the generic structuring/hierarchy transforms.
+"""
+
+from __future__ import annotations
+
+from ...dtse.hierarchy import apply_hierarchy
+from ...dtse.structuring import compact_group
+from ...ir.program import Program
+from ..registry import AppSpec, Transform, register_app
+from .spec import WaveletConstraints, build_wavelet_program
+
+
+def _row_ordered(program: Program, constraints) -> Program:
+    # A loop-order rewrite changes the whole nest structure, so this
+    # variant rebuilds from the constraints rather than patching.
+    return build_wavelet_program(constraints, column_major=False)
+
+
+def _packed_input(program: Program, constraints) -> Program:
+    return compact_group(program, "image", 2)
+
+
+def _row_pass_registers(program: Program, constraints) -> Program:
+    return apply_hierarchy(
+        program, "row_l0", "image",
+        use_registers=True, use_rowbuffer=False,
+    )
+
+
+APP = register_app(
+    AppSpec(
+        name="wavelet",
+        title="2-D wavelet / subband transform",
+        description=(
+            "Multi-level separable DWT with strided row and column "
+            "passes; the column-major pass is the page-locality stress "
+            "case the off-chip model penalizes."
+        ),
+        constraints_factory=WaveletConstraints,
+        build_program=build_wavelet_program,
+        transforms=(
+            Transform(
+                "row-ordered columns", _row_ordered,
+                "column pass rewritten in scan order (page-friendly)",
+            ),
+            Transform(
+                "packed input x2", _packed_input,
+                "two 8-bit pixels per 16-bit word",
+            ),
+            Transform(
+                "row-pass registers", _row_pass_registers,
+                "register window on the level-0 horizontal pass",
+            ),
+        ),
+        budget_fractions=(1.0, 0.85),
+        onchip_counts=(None, 4),
+    )
+)

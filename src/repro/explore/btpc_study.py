@@ -14,10 +14,11 @@ This module chains the methodology exactly as the paper does:
    memories) at the tightened budget.
 
 Since the ``repro.api`` redesign the study is a thin adapter over the
-exploration engine: the alternatives are variants of a declarative
-:class:`~repro.explore.space.DesignSpace` and the walk itself is a
-:class:`~repro.explore.strategies.GreedyStepwise` strategy whose
-decisions are the paper's designer decisions.  The legacy
+exploration engine: the alternatives are variants of the declarative
+BTPC :class:`~repro.explore.space.DesignSpace` shared with the workload
+registry (:func:`~repro.apps.btpc.app.build_btpc_space`) and the walk
+itself is a :class:`~repro.explore.strategies.GreedyStepwise` strategy
+whose decisions are the paper's designer decisions.  The legacy
 :class:`~repro.explore.session.ExplorationSession` log is kept in sync
 so the exploration tree (Fig. 1) renders as before.
 
@@ -32,35 +33,24 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..apps.btpc import BtpcConstraints, BtpcProfile, build_btpc_program, profile_btpc
+from ..apps.btpc.app import (  # noqa: F401 - re-exported for compatibility
+    CHOSEN_BUDGET_FRACTION,
+    HIERARCHY_VARIANTS,
+    RMW_EXEMPT,
+    STRUCTURING_VARIANTS,
+    TABLE3_ALLOCATION,
+    TABLE3_FRACTIONS,
+    TABLE4_COUNTS,
+    build_btpc_space,
+)
 from ..costs.report import CostReport, render_cost_table
-from ..dtse.hierarchy import apply_hierarchy, hierarchy_alternatives
 from ..dtse.reuse import describe_stencil, find_stencil
-from ..dtse.structuring import compact_group, merge_groups
+from ..dtse.structuring import compact_group
 from ..ir.program import Program
 from ..memlib.library import MemoryLibrary, default_library
 from .engine import ExplorationResult, Explorer
 from .session import ExplorationSession
-from .space import DesignSpace
 from .strategies import GreedyStep, GreedyStepwise, StepOutcome
-
-#: Pyramid-build writes touch records whose ridge field is not live yet.
-RMW_EXEMPT = (("build_l1", "pyr_bw"), ("build_rest", "pyr_bw"))
-
-#: Budget fractions evaluated in Table 3 (1.0 = the full 20.97 M cycles).
-TABLE3_FRACTIONS = (1.0, 0.95, 0.90, 0.85, 0.82)
-
-#: Fraction of the full budget used from Table 3 onwards (the paper
-#: hands ~15 % of the cycles back to the datapath).
-CHOSEN_BUDGET_FRACTION = 0.85
-
-#: On-chip memory counts swept in Table 4 (the paper's rows).
-TABLE4_COUNTS = (4, 5, 8, 10, 14)
-
-#: Allocation used while exploring the cycle budget (Table 3).  The
-#: paper used its then-current small allocation; 4 memories are not
-#: always feasible for our conflict graphs, so the designer's working
-#: allocation is 5.
-TABLE3_ALLOCATION = 5
 
 # The methodology steps (and their Fig. 1 layer names), in walk order.
 STEP_STRUCTURING = "Basic group structuring"
@@ -68,18 +58,6 @@ STEP_HIERARCHY = "Memory hierarchy"
 STEP_BUDGET = "Cycle budget"
 STEP_ALLOCATION = "Memory allocation"
 STEP_ORDER = (STEP_STRUCTURING, STEP_HIERARCHY, STEP_BUDGET, STEP_ALLOCATION)
-
-#: Variant names for the structuring (Table 1) alternatives.
-STRUCTURING_VARIANTS = ("No structuring", "ridge compacted", "ridge and pyr merged")
-
-#: Variant names for the hierarchy (Table 2) alternatives; these match
-#: the keys of :func:`~repro.dtse.hierarchy.hierarchy_alternatives`.
-HIERARCHY_VARIANTS = (
-    "No hierarchy",
-    "Only layer 1 (yhier)",
-    "Only layer 0 (ylocal)",
-    "2 layers (both)",
-)
 
 #: The paper's decision at each step.
 DECISIONS = {
@@ -103,7 +81,11 @@ class BtpcStudy:
     def __post_init__(self) -> None:
         if self.profile is None:
             self.profile = profile_btpc()
-        self.space = self._build_space()
+        # The declarative design space, shared with the workload
+        # registry (one definition, one set of memoization fingerprints).
+        self.space = build_btpc_space(
+            self.constraints, self.profile, self.library
+        )
         self.explorer = Explorer(self.space, workers=self.workers)
         self.session = ExplorationSession(
             cycle_budget=self.constraints.cycle_budget,
@@ -111,55 +93,11 @@ class BtpcStudy:
             library=self.library,
             explorer=self.explorer,
         )
-        self._hier_alts: Optional[Dict[str, Program]] = None
         self._outcomes: Dict[str, StepOutcome] = {}
 
-    # ------------------------------------------------------------------
-    # The declarative design space
-    # ------------------------------------------------------------------
-    def _build_space(self) -> DesignSpace:
-        space = DesignSpace(
-            name="btpc",
-            cycle_budget=self.constraints.cycle_budget,
-            frame_time_s=self.constraints.frame_time_s,
-            budget_fractions=TABLE3_FRACTIONS,
-            onchip_counts=(None,) + TABLE4_COUNTS,
-            libraries={"default": self.library},
-            description="BTPC structuring/hierarchy/budget/allocation axes",
-        )
-        space.add_variant(
-            "No structuring",
-            build=lambda: build_btpc_program(self.constraints, self.profile),
-            description="the pruned specification as profiled",
-        )
-        space.add_variant(
-            "ridge compacted",
-            build=lambda: compact_group(self.base_program, "ridge", 3),
-            description="three 2-bit ridge classes packed per word",
-        )
-        space.add_variant(
-            "ridge and pyr merged",
-            build=lambda: merge_groups(
-                self.base_program, "pyr", "ridge", "pyrridge",
-                rmw_exempt=RMW_EXEMPT,
-            ),
-            description="pyr+ridge zipped into one record array",
-        )
-        for name in HIERARCHY_VARIANTS:
-            space.add_variant(
-                name,
-                build=lambda name=name: self.hierarchy_alternative(name),
-                description="Table 2 hierarchy alternative on the merged program",
-            )
-        return space
-
     def hierarchy_alternative(self, name: str) -> Program:
-        """One of the four Table 2 programs (built once, shared)."""
-        if self._hier_alts is None:
-            self._hier_alts = hierarchy_alternatives(
-                self.merged_program, "encode_l0", "image"
-            )
-        return self._hier_alts[name]
+        """One of the four Table 2 programs (built once, by the space)."""
+        return self.space.program(name)
 
     # ------------------------------------------------------------------
     # Programs along the decision chain

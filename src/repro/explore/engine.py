@@ -355,6 +355,16 @@ class Explorer:
         self._seconds: Dict[str, float] = {}
         self._errors: Dict[str, str] = {}
 
+    @classmethod
+    def for_app(cls, name: str, constraints: Optional[Any] = None, **kwargs) -> "Explorer":
+        """An explorer over a registered workload's default space.
+
+        ``Explorer.for_app("cavity", workers=4)`` is the one-liner from
+        registry to sweep; keyword arguments pass through to the
+        constructor.
+        """
+        return cls(DesignSpace.for_app(name, constraints), **kwargs)
+
     # ------------------------------------------------------------------
     # Request resolution
     # ------------------------------------------------------------------

@@ -127,6 +127,24 @@ class DesignSpace:
         self._programs: Dict[str, Program] = {}
 
     # ------------------------------------------------------------------
+    # Registry lookup
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_app(cls, name: str, constraints: Optional[Any] = None) -> "DesignSpace":
+        """The default design space of a registered workload.
+
+        ``DesignSpace.for_app("wavelet")`` resolves ``name`` through the
+        workload registry (:mod:`repro.apps.registry`) and returns the
+        app's declared space — variants, budget fractions, allocation
+        counts and libraries — at its default (or the given)
+        constraints.
+        """
+        from .. import apps  # noqa: F401 - importing registers built-ins
+        from ..apps.registry import get_app
+
+        return get_app(name).space(constraints)
+
+    # ------------------------------------------------------------------
     # Axis construction
     # ------------------------------------------------------------------
     def add_variant(

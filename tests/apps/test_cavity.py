@@ -1,0 +1,70 @@
+"""The cavity-detection workload."""
+
+import pytest
+
+from repro.apps.cavity import CavityConstraints, build_cavity_program
+from repro.apps.cavity.app import _full_line_buffering, _gauss_line_buffer
+from repro.dtse import analyze_macp, find_stencil, run_pmm
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_cavity_program()
+
+
+def test_spec_builds_and_validates(program):
+    assert set(program.group_names) == {
+        "image", "gauss_x", "gauss_xy", "comp_edge", "roots", "maxv",
+    }
+    counts = program.access_counts()
+    constraints = CavityConstraints()
+    # Every stage consumes its predecessor's full frame at least once.
+    assert counts["gauss_x"].reads >= 3 * constraints.pixels
+    assert counts["comp_edge"].writes == constraints.pixels
+    assert counts["roots"].writes == constraints.pixels
+
+
+def test_inter_stage_stencils_are_recognized(program):
+    """Each filter stage exposes a harvestable window on its input."""
+    for nest, group in (
+        ("gauss_x", "image"),
+        ("gauss_y", "gauss_x"),
+        ("comp_edge", "gauss_xy"),
+        ("detect_roots", "comp_edge"),
+    ):
+        pattern = find_stencil(program, nest, group)
+        assert pattern is not None, f"no stencil on {group} in {nest}"
+    vertical = find_stencil(program, "gauss_y", "gauss_x")
+    assert vertical.row_span == 3 and vertical.col_span == 1
+    edges = find_stencil(program, "comp_edge", "gauss_xy")
+    assert edges.row_span == 3 and edges.col_span == 3
+
+
+def test_macp_feasible(program):
+    constraints = CavityConstraints()
+    assert analyze_macp(program, constraints.cycle_budget).feasible
+
+
+def test_line_buffers_cut_offchip_power(program):
+    """The hierarchy variants intercept the inter-stage frame traffic."""
+    constraints = CavityConstraints()
+    baseline = run_pmm(
+        program, constraints.cycle_budget, constraints.frame_time_s,
+        label="baseline",
+    ).report
+    buffered = run_pmm(
+        _full_line_buffering(program, constraints),
+        constraints.cycle_budget, constraints.frame_time_s,
+        label="full line buffering",
+    ).report
+    assert baseline.offchip_power_mw > 0
+    assert buffered.offchip_power_mw < baseline.offchip_power_mw
+    # The line buffers cost on-chip area that the baseline did not pay.
+    assert buffered.onchip_area_mm2 > baseline.onchip_area_mm2
+
+
+def test_single_line_buffer_adds_one_group(program):
+    constraints = CavityConstraints()
+    transformed = _gauss_line_buffer(program, constraints)
+    added = set(transformed.group_names) - set(program.group_names)
+    assert added == {"yhier"}

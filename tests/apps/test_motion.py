@@ -23,6 +23,26 @@ def test_constraints_scale():
     assert constraints.cycle_budget == int(60e6 / 12.5)
 
 
+def test_constraints_reject_non_divisible_frame():
+    """A frame that does not tile into blocks must fail loudly.
+
+    Before the check, 180x144 with 8-pel blocks silently dropped half
+    a block column from the block count (and thus from every access
+    count downstream).
+    """
+    with pytest.raises(ValueError, match="divisible"):
+        MotionConstraints(frame_width=180)
+    with pytest.raises(ValueError, match="divisible"):
+        MotionConstraints(frame_height=100)
+    with pytest.raises(ValueError, match="block_size"):
+        MotionConstraints(block_size=0)
+    # CIF at 16-pel blocks tiles exactly: accepted.
+    constraints = MotionConstraints(
+        frame_width=352, frame_height=288, block_size=16
+    )
+    assert constraints.blocks == (352 // 16) * (288 // 16)
+
+
 def test_macp_feasible():
     constraints = MotionConstraints()
     program = build_motion_program(constraints)

@@ -32,3 +32,20 @@ def study():
     cost-shape checks.
     """
     return BtpcStudy()
+
+
+@pytest.fixture(scope="session")
+def registry_sweeps():
+    """Default-space exhaustive sweeps of the fast registered workloads.
+
+    One sweep per app, shared by the golden-file suite and the registry
+    end-to-end tests (BTPC is excluded here: its sweep is the expensive
+    study walk, covered by the ``study`` fixture).
+    """
+    from repro.api import ExhaustiveSweep, Explorer
+
+    sweeps = {}
+    for name in ("cavity", "motion", "wavelet"):
+        explorer = Explorer.for_app(name, on_error="skip")
+        sweeps[name] = (explorer.run(ExhaustiveSweep()), explorer)
+    return sweeps

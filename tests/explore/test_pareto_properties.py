@@ -1,0 +1,124 @@
+"""Property-based tests for the Pareto-front utilities.
+
+The exploration's decision layer must be trustworthy under any cost
+surface the oracle produces, so ``dominates`` / ``pareto_front`` /
+``knee_point`` are checked against randomly generated report sets, not
+just the hand-picked shapes of the unit tests.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import CostReport, MemoryCost, dominates, knee_point, pareto_front
+from repro.memlib.module import MemoryKind
+
+#: Cost axes: non-negative, finite, spanning several orders of magnitude.
+costs = st.floats(
+    min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+def make_report(area: float, power: float) -> CostReport:
+    return CostReport(
+        label=f"a{area:.6g}/p{power:.6g}",
+        memories=(
+            MemoryCost(
+                name="m0",
+                kind=MemoryKind.ONCHIP,
+                words=16,
+                width=8,
+                ports=1,
+                area_mm2=area,
+                power_mw=power,
+            ),
+        ),
+    )
+
+
+reports = st.builds(make_report, costs, costs)
+report_lists = st.lists(reports, min_size=1, max_size=24)
+
+
+def cost_pair(report: CostReport):
+    return (report.onchip_area_mm2, report.total_power_mw)
+
+
+# ----------------------------------------------------------------------
+# dominates
+# ----------------------------------------------------------------------
+@given(reports)
+def test_dominates_is_irreflexive(report):
+    assert not dominates(report, report)
+
+
+@given(reports, reports)
+def test_dominates_is_asymmetric(first, second):
+    assert not (dominates(first, second) and dominates(second, first))
+
+
+@given(reports, reports, reports)
+def test_dominates_is_transitive(first, second, third):
+    if dominates(first, second) and dominates(second, third):
+        assert dominates(first, third)
+
+
+# ----------------------------------------------------------------------
+# pareto_front
+# ----------------------------------------------------------------------
+@given(report_lists)
+def test_front_members_are_mutually_non_dominated(batch):
+    front = pareto_front(batch)
+    assert front
+    for first in front:
+        for second in front:
+            assert not dominates(first, second)
+
+
+@given(report_lists)
+def test_front_dominates_or_matches_every_input(batch):
+    front = pareto_front(batch)
+    for candidate in batch:
+        assert (
+            any(dominates(member, candidate) for member in front)
+            or cost_pair(candidate) in {cost_pair(member) for member in front}
+        )
+
+
+@given(report_lists, st.randoms(use_true_random=False))
+def test_front_is_invariant_under_permutation(batch, rng):
+    baseline = sorted(cost_pair(r) for r in pareto_front(batch))
+    shuffled = list(batch)
+    rng.shuffle(shuffled)
+    assert sorted(cost_pair(r) for r in pareto_front(shuffled)) == baseline
+
+
+@given(report_lists)
+def test_front_is_invariant_under_duplication(batch):
+    baseline = {cost_pair(r) for r in pareto_front(batch)}
+    doubled = {cost_pair(r) for r in pareto_front(batch + batch)}
+    assert doubled == baseline
+
+
+@given(report_lists)
+def test_front_is_sorted_by_area_then_power(batch):
+    front = pareto_front(batch)
+    keys = [cost_pair(r) for r in front]
+    assert keys == sorted(keys)
+
+
+# ----------------------------------------------------------------------
+# knee_point
+# ----------------------------------------------------------------------
+@given(report_lists)
+@settings(max_examples=60)
+def test_knee_point_lies_on_the_front(batch):
+    front = pareto_front(batch)
+    knee = knee_point(front)
+    assert any(knee is member for member in front)
+
+
+@given(report_lists)
+@settings(max_examples=60)
+def test_knee_point_of_whole_batch_is_never_dominated(batch):
+    knee = knee_point(pareto_front(batch))
+    assert not any(dominates(candidate, knee) for candidate in batch)

@@ -1,0 +1,113 @@
+"""The golden-file regression harness.
+
+``tests/golden/*.json`` are canonical snapshots of the paper-table
+metrics every registered workload produces — structuring / hierarchy /
+allocation costs, Pareto fronts, designer decisions.  They pin the
+numbers down while the codebase keeps getting refactored: any change to
+the oracle, the transforms or the specs that moves a cost shows up as a
+named, line-level diff in this suite rather than as silent drift.
+
+Workflow::
+
+    pytest tests/golden                  # diff live results vs snapshots
+    pytest tests/golden --update-golden  # regenerate the snapshots
+
+``--update-golden`` rewrites the JSON files from the live run (and the
+test passes); commit the resulting diff *only* when the change is
+intentional, with the reason in the commit message.  Floats are
+compared with a small relative tolerance (default 1e-9) so legitimate
+cross-platform rounding noise does not fail the suite while any real
+model change does.
+"""
+
+import json
+import math
+import pathlib
+
+import pytest
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+
+#: Relative/absolute float tolerance: tight enough that any model change
+#: trips it, loose enough for libm differences across platforms.
+REL_TOL = 1e-9
+ABS_TOL = 1e-9
+
+
+def _diff(expected, actual, path, mismatches, rel_tol, abs_tol):
+    """Recursively collect human-readable differences."""
+    if len(mismatches) >= 20:  # enough to diagnose; keep failures short
+        return
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            here = f"{path}.{key}"
+            if key not in expected:
+                mismatches.append(f"{here}: unexpected new key")
+            elif key not in actual:
+                mismatches.append(f"{here}: missing from live result")
+            else:
+                _diff(expected[key], actual[key], here, mismatches,
+                      rel_tol, abs_tol)
+        return
+    if isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            mismatches.append(
+                f"{path}: length {len(actual)} != golden {len(expected)}"
+            )
+            return
+        for index, (exp, act) in enumerate(zip(expected, actual)):
+            _diff(exp, act, f"{path}[{index}]", mismatches, rel_tol, abs_tol)
+        return
+    # bool is an int subclass: compare it exactly, not numerically.
+    numeric = (
+        isinstance(expected, (int, float)) and not isinstance(expected, bool)
+        and isinstance(actual, (int, float)) and not isinstance(actual, bool)
+    )
+    if numeric:
+        if not math.isclose(expected, actual, rel_tol=rel_tol, abs_tol=abs_tol):
+            mismatches.append(f"{path}: {actual!r} != golden {expected!r}")
+        return
+    if expected != actual:
+        mismatches.append(f"{path}: {actual!r} != golden {expected!r}")
+
+
+@pytest.fixture
+def golden(request):
+    """Compare a JSON-serializable payload against its named snapshot.
+
+    Usage: ``golden("wavelet", payload)`` checks (or, under
+    ``--update-golden``, rewrites) ``tests/golden/wavelet.json``.
+    """
+    update = request.config.getoption("--update-golden")
+
+    def check(name, payload, rel_tol=REL_TOL, abs_tol=ABS_TOL):
+        path = GOLDEN_DIR / f"{name}.json"
+        # Round-trip through JSON so the live payload is compared in
+        # exactly the representation the snapshot stores.
+        payload = json.loads(json.dumps(payload))
+        if update:
+            path.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            return
+        if not path.exists():
+            pytest.fail(
+                f"no golden snapshot {path.name}: run "
+                "`pytest tests/golden --update-golden` and commit the "
+                "result",
+                pytrace=False,
+            )
+        expected = json.loads(path.read_text(encoding="utf-8"))
+        mismatches = []
+        _diff(expected, payload, "$", mismatches, rel_tol, abs_tol)
+        if mismatches:
+            details = "\n  ".join(mismatches)
+            pytest.fail(
+                f"live results drifted from {path.name}:\n  {details}\n"
+                "(if the change is intentional, regenerate with "
+                "--update-golden)",
+                pytrace=False,
+            )
+
+    return check

@@ -1,0 +1,79 @@
+"""Golden-file regression tests: every workload's paper-table metrics.
+
+Each test reduces live exploration results to a JSON payload and diffs
+it against the committed snapshot (see ``conftest.py`` for the
+workflow and ``--update-golden``).  The BTPC snapshot additionally pins
+the *rendered* Tables 1-4 line by line, so it is byte-compatible with
+the paper-table artifacts the benchmarks regenerate.
+"""
+
+import pytest
+
+from repro.explore.btpc_study import STEP_ORDER
+
+REGISTRY_APPS = ("cavity", "motion", "wavelet")
+
+
+def report_row(report):
+    """The snapshot columns of one cost report."""
+    return {
+        "label": report.label,
+        "onchip_area_mm2": report.onchip_area_mm2,
+        "onchip_power_mw": report.onchip_power_mw,
+        "offchip_power_mw": report.offchip_power_mw,
+        "total_power_mw": report.total_power_mw,
+        "onchip_memories": report.onchip_memory_count,
+        "cycles_used": report.cycles_used,
+        "cycle_budget": report.cycle_budget,
+    }
+
+
+def sweep_payload(result, explorer):
+    """Snapshot of one default-space exhaustive sweep."""
+    return {
+        "space": result.space_name,
+        "evaluations": [
+            {"point": record.point.to_dict(), **report_row(record.report)}
+            for record in result.records
+        ],
+        "skipped_infeasible": sorted(
+            point.display_label for point, _ in explorer.failures
+        ),
+        "pareto_front": [record.label for record in result.pareto_front()],
+        "knee_point": result.knee_point().label,
+    }
+
+
+@pytest.mark.parametrize("app", REGISTRY_APPS)
+def test_default_space_sweep_matches_golden(app, registry_sweeps, golden):
+    result, explorer = registry_sweeps[app]
+    golden(app, sweep_payload(result, explorer))
+
+
+def test_btpc_paper_tables_match_golden(study, golden):
+    """Tables 1-4 and the decision chain, numeric and rendered.
+
+    The ``rendered`` block stores the exact table text (the paper-table
+    artifact): string comparison in the harness is byte-exact, so any
+    formatting or cost drift in the canonical experiment fails here.
+    """
+    result = study.explore()
+    payload = {
+        "table1_structuring": [report_row(r) for r in study.table1()],
+        "table2_hierarchy": [report_row(r) for r in study.table2()],
+        "table3_cycle_budget": [
+            {"extra_cycles": extra, **report_row(report)}
+            for extra, report in study.table3()
+        ],
+        "table4_allocation": [
+            {"n_onchip": count, **report_row(report)}
+            for count, report in study.table4()
+        ],
+        "decisions": [
+            {"step": step, "chosen": result.decisions[step]}
+            for step in STEP_ORDER
+        ],
+        "pareto_front": [record.label for record in result.pareto_front()],
+        "rendered": study.render_all().splitlines(),
+    }
+    golden("btpc_tables", payload)
