@@ -1,0 +1,47 @@
+"""Exploration-throughput bench: the repro.perf suite over all apps.
+
+Drives the registered perf-case suite (the same cases the CI gate
+times) through the harness and prints the per-case evals/sec table.
+The benchmarked kernel is the ``quick`` subset — single oracle calls,
+cold sweeps, memoized re-sweeps and the disk-warm registry re-sweep —
+so this bench IS the local version of the continuous-performance
+trajectory.
+
+Refreshing the committed baseline:
+
+    PYTHONPATH=src python -m repro.perf run --label baseline
+    mv BENCH_baseline.json benchmarks/baselines/perf_baseline.json
+"""
+
+from repro.perf import compare_reports, list_cases, run_cases
+from repro.perf.report import BenchReport
+
+BASELINE = "benchmarks/baselines/perf_baseline.json"
+
+
+def test_perf_suite_quick(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_cases(tag="quick", label="bench", min_seconds=0.1),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.describe())
+
+    # Every quick case produced a usable throughput number ...
+    assert report.case_names() == list_cases("quick")
+    for case in report.cases:
+        assert case.evals_per_sec > 0.0
+        assert case.repeats >= 1
+
+    # ... the memo cases actually hit ...
+    for name in list_cases("memo"):
+        case = report.case(name)
+        assert case.cache.get("misses") == 0
+
+    # ... and the run diffs cleanly against the committed baseline
+    # (informational here: thresholds are the CI gate's job).
+    baseline = BenchReport.from_json(BASELINE)
+    outcome = compare_reports(report, baseline, threshold=2.0)
+    print()
+    print(outcome.describe())

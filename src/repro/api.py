@@ -38,6 +38,7 @@ from .costs.report import CostReport, MemoryCost, render_cost_table
 from .dtse.macp import analyze_macp
 from .dtse.pipeline import PmmRequest, PmmResult, run_pmm, run_pmm_request
 from .explore.btpc_study import BtpcStudy
+from .explore.cache import CacheBackend, CacheStats, DiskCache, MemoryCache
 from .explore.engine import (
     EvaluationCache,
     ExplorationError,
@@ -62,10 +63,14 @@ from .memlib.library import MemoryLibrary, default_library
 __all__ = [
     "AppSpec",
     "BtpcStudy",
+    "CacheBackend",
+    "CacheStats",
     "CostReport",
     "DesignPoint",
     "DesignSpace",
+    "DiskCache",
     "EvaluationCache",
+    "MemoryCache",
     "Evaluation",
     "ExhaustiveSweep",
     "ExplorationError",

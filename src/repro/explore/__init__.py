@@ -12,6 +12,13 @@ from .btpc_study import (
     TABLE4_COUNTS,
     BtpcStudy,
 )
+from .cache import (
+    CacheBackend,
+    CacheStats,
+    DiskCache,
+    MemoryCache,
+    resolve_backend,
+)
 from .engine import (
     EvaluationCache,
     ExplorationError,
@@ -46,9 +53,13 @@ __all__ = [
     "TABLE3_FRACTIONS",
     "TABLE4_COUNTS",
     "BtpcStudy",
+    "CacheBackend",
+    "CacheStats",
     "DesignPoint",
     "DesignSpace",
+    "DiskCache",
     "EvaluationCache",
+    "MemoryCache",
     "Evaluation",
     "ExhaustiveSweep",
     "ExplorationError",
@@ -68,5 +79,6 @@ __all__ = [
     "fingerprint_request",
     "knee_point",
     "pareto_front",
+    "resolve_backend",
     "select_min_total_power",
 ]

@@ -1,0 +1,312 @@
+"""Pluggable memoization backends for the exploration engine.
+
+The :class:`~repro.explore.engine.Explorer` memoizes every oracle
+evaluation under a content-addressed fingerprint.  This module owns
+*where* those memo entries live:
+
+* :class:`MemoryCache` — an in-process store (the default), optionally
+  bounded by ``max_entries`` with least-recently-used eviction so long
+  strategy runs cannot grow it without limit.
+* :class:`DiskCache` — a content-addressed on-disk store (sharded JSON
+  files, atomic writes, corruption-tolerant reads) that keeps sweeps
+  warm across *processes and runs*, not just within one explorer.
+
+Both implement the :class:`CacheBackend` protocol and expose a
+:class:`CacheStats` counter block (hits, misses, stores, evictions,
+corrupt reads) that the :mod:`repro.perf` harness surfaces into its
+``BENCH_*.json`` reports.
+
+Backends store plain JSON payloads (``dict``\\ s), not domain objects;
+the :class:`~repro.explore.engine.EvaluationCache` facade converts
+:class:`~repro.costs.report.CostReport`\\ s at the boundary so every
+backend is automatically persistence-capable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    Mapping,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Counter block every backend maintains.
+
+    ``hits``/``misses`` count :meth:`CacheBackend.get` outcomes at the
+    backend level (the explorer keeps its own evaluation-level counters
+    on :class:`~repro.explore.engine.EvaluationCache`); ``corrupt``
+    counts unreadable on-disk entries that were tolerated as misses.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 6),
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+        }
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.stores = 0
+        self.evictions = self.corrupt = 0
+
+
+# ----------------------------------------------------------------------
+# The protocol
+# ----------------------------------------------------------------------
+@runtime_checkable
+class CacheBackend(Protocol):
+    """Fingerprint -> JSON payload store.
+
+    Payloads must be JSON-serializable mappings; keys are hex content
+    fingerprints.  Implementations keep a :class:`CacheStats` and may
+    bound their size via ``max_entries`` (LRU order).
+    """
+
+    stats: CacheStats
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]: ...
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None: ...
+
+    def __len__(self) -> int: ...
+
+    def clear(self) -> None: ...
+
+
+# ----------------------------------------------------------------------
+# In-memory LRU
+# ----------------------------------------------------------------------
+class MemoryCache:
+    """In-process backend; optional LRU bound via ``max_entries``.
+
+    Unbounded by default (matching the historic memo dict).  With
+    ``max_entries=N`` the store never holds more than N payloads:
+    inserting beyond the bound evicts the least-recently-*used* entry
+    (both :meth:`get` and :meth:`put` refresh recency) and increments
+    ``stats.evictions``.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        payload = self._entries.get(key)
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        self._entries[key] = dict(payload)
+        self._entries.move_to_end(key)
+        self.stats.stores += 1
+        while self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def keys(self) -> Tuple[str, ...]:
+        """Current keys, least-recently-used first."""
+        return tuple(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats.reset()
+
+
+# ----------------------------------------------------------------------
+# On-disk content-addressed store
+# ----------------------------------------------------------------------
+class DiskCache:
+    """Content-addressed JSON store under ``root``, safe across runs.
+
+    Layout is sharded by fingerprint prefix —
+    ``root/<key[:2]>/<key>.json`` — so directories stay small at scale.
+    Writes go through a same-directory temp file plus ``os.replace`` so
+    a crashed writer can never leave a half-written shard; readers that
+    do hit a corrupt file (truncated by external causes, wrong content)
+    count it in ``stats.corrupt``, discard the file and treat the key
+    as a miss instead of raising.
+
+    A read-through in-memory mirror makes repeated gets within one
+    process dictionary-cheap; ``max_entries`` (optional) bounds the
+    number of *on-disk* entries with least-recently-stored eviction.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self.root = Path(root)
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._mirror: Dict[str, Dict[str, Any]] = {}
+        self._known: "OrderedDict[str, None]" = OrderedDict()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+        def mtime(path: Path) -> float:
+            # A sibling process may unlink a shard between glob and
+            # stat; treat the vanished file like any other miss.
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+
+        for path in sorted(
+            self.root.glob("*/*.json"),
+            key=lambda p: (mtime(p), p.name),
+        ):
+            self._known[path.stem] = None
+
+    # ------------------------------------------------------------------
+    def _shard(self, key: str) -> Path:
+        return self.root / key[:2]
+
+    def _file(self, key: str) -> Path:
+        return self._shard(key) / f"{key}.json"
+
+    def __len__(self) -> int:
+        return len(self._known)
+
+    def keys(self) -> Iterator[str]:
+        return iter(tuple(self._known))
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        payload = self._mirror.get(key)
+        if payload is not None:
+            self.stats.hits += 1
+            return payload
+        path = self._file(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, UnicodeDecodeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self._discard(key)
+            return None
+        self._mirror[key] = payload
+        self._known.setdefault(key, None)
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        shard = self._shard(key)
+        shard.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(dict(payload), ensure_ascii=False)
+        fd, temp_name = tempfile.mkstemp(dir=shard, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(blob)
+            os.replace(temp_name, self._file(key))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self._mirror[key] = dict(payload)
+        self._known[key] = None
+        self._known.move_to_end(key)
+        self.stats.stores += 1
+        while self.max_entries is not None and len(self._known) > self.max_entries:
+            oldest, _ = self._known.popitem(last=False)
+            self._mirror.pop(oldest, None)
+            try:
+                self._file(oldest).unlink()
+            except OSError:
+                pass
+            self.stats.evictions += 1
+
+    def _discard(self, key: str) -> None:
+        self._mirror.pop(key, None)
+        self._known.pop(key, None)
+        try:
+            self._file(key).unlink()
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        for key in tuple(self._known):
+            self._discard(key)
+        self._mirror.clear()
+        self._known.clear()
+        self.stats.reset()
+
+
+def resolve_backend(
+    cache: Union[None, str, Path, CacheBackend],
+    *,
+    max_entries: Optional[int] = None,
+) -> CacheBackend:
+    """Normalize a user-facing ``cache=`` argument into a backend.
+
+    ``None`` -> fresh :class:`MemoryCache`; a string or path -> a
+    :class:`DiskCache` rooted there; an existing backend passes through
+    (``max_entries`` then must be left unset — the backend already owns
+    its bound).
+    """
+    if cache is None:
+        return MemoryCache(max_entries=max_entries)
+    if isinstance(cache, (str, Path)):
+        return DiskCache(cache, max_entries=max_entries)
+    if isinstance(cache, CacheBackend):
+        if max_entries is not None:
+            raise ValueError(
+                "max_entries cannot be combined with an explicit backend; "
+                "configure the bound on the backend itself"
+            )
+        return cache
+    raise TypeError(
+        f"cache must be None, a path, or a CacheBackend, not {type(cache).__name__}"
+    )

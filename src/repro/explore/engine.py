@@ -44,6 +44,7 @@ from ..dtse.allocation.assign import DEFAULT_AREA_WEIGHT
 from ..dtse.pipeline import PmmRequest, PmmResult
 from ..ir.program import Program
 from ..memlib.library import MemoryLibrary, default_library
+from .cache import CacheBackend, DiskCache, resolve_backend
 from .pareto import dominates, knee_point, pareto_front
 from .space import DesignPoint, DesignSpace
 
@@ -108,44 +109,73 @@ def fingerprint_request(request: PmmRequest) -> str:
 # Memoization cache
 # ----------------------------------------------------------------------
 class EvaluationCache:
-    """Fingerprint -> cost report store, optionally persisted to disk.
+    """Fingerprint -> cost report store over a pluggable backend.
 
-    Reports are the serializable payload; full :class:`PmmResult`\\ s are
-    kept in-memory only (they hold schedules and conflict graphs) for
-    callers that need more than the report.
+    The backend (:class:`~repro.explore.cache.CacheBackend`) owns the
+    serializable report payloads — :class:`MemoryCache` by default,
+    :class:`DiskCache` when constructed with ``path=`` (warm across
+    processes and runs), or any caller-provided backend.  Full
+    :class:`PmmResult`\\ s are kept in-memory only (they hold schedules
+    and conflict graphs) for callers that need more than the report.
+
+    ``hits``/``misses`` count *evaluations* the explorer resolved from
+    cache versus ran through the oracle; the backend's own
+    :class:`~repro.explore.cache.CacheStats` counts raw store traffic
+    (gets, stores, evictions, corrupt shards).
     """
 
-    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
-        self.path = Path(path) if path is not None else None
-        self.reports: Dict[str, CostReport] = {}
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        *,
+        backend: Optional[CacheBackend] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if path is not None and backend is not None:
+            raise ValueError("pass either path= or backend=, not both")
+        if backend is not None:
+            self.backend = resolve_backend(backend, max_entries=max_entries)
+        else:
+            self.backend = resolve_backend(
+                Path(path) if path is not None else None, max_entries=max_entries
+            )
+        self.path = self.backend.root if isinstance(self.backend, DiskCache) else None
+        self.max_entries = getattr(self.backend, "max_entries", None)
         self.results: Dict[str, PmmResult] = {}
         self.hits = 0
         self.misses = 0
-        if self.path is not None:
-            self.path.mkdir(parents=True, exist_ok=True)
 
     def __len__(self) -> int:
-        return len(self.reports)
+        return len(self.backend)
 
-    def _report_file(self, fingerprint: str) -> Optional[Path]:
-        if self.path is None:
-            return None
-        return self.path / f"{fingerprint}.json"
+    #: Payload marker for negatively-cached evaluations (infeasible
+    #: points).  Persisting failures means a warm on-disk cache never
+    #: re-runs the oracle, not even for the corners it cannot satisfy.
+    FAILURE_KEY = "__infeasible__"
+
+    def lookup(
+        self, fingerprint: str
+    ) -> Tuple[Optional[CostReport], Optional[str]]:
+        """One backend probe: (report, None), (None, error) or (None, None)."""
+        payload = self.backend.get(fingerprint)
+        if payload is None:
+            return None, None
+        if self.FAILURE_KEY in payload:
+            return None, str(payload[self.FAILURE_KEY])
+        return CostReport.from_dict(payload), None
 
     def get_report(self, fingerprint: str) -> Optional[CostReport]:
-        report = self.reports.get(fingerprint)
-        if report is not None:
-            return report
-        report_file = self._report_file(fingerprint)
-        if report_file is not None and report_file.exists():
-            with report_file.open("r", encoding="utf-8") as handle:
-                report = CostReport.from_dict(json.load(handle))
-            self.reports[fingerprint] = report
-            return report
-        return None
+        return self.lookup(fingerprint)[0]
+
+    def get_error(self, fingerprint: str) -> Optional[str]:
+        """The cached failure message, if this evaluation is known bad."""
+        return self.lookup(fingerprint)[1]
 
     def get_result(self, fingerprint: str) -> Optional[PmmResult]:
         return self.results.get(fingerprint)
+
+    def store_failure(self, fingerprint: str, error: str) -> None:
+        self.backend.put(fingerprint, {self.FAILURE_KEY: error})
 
     def store(
         self,
@@ -153,22 +183,35 @@ class EvaluationCache:
         report: CostReport,
         result: Optional[PmmResult] = None,
     ) -> None:
-        self.reports[fingerprint] = report
+        self.backend.put(fingerprint, report.to_dict())
         if result is not None:
             self.results[fingerprint] = result
-        report_file = self._report_file(fingerprint)
-        if report_file is not None:
-            with report_file.open("w", encoding="utf-8") as handle:
-                json.dump(report.to_dict(), handle, ensure_ascii=False)
+            while (
+                self.max_entries is not None
+                and len(self.results) > self.max_entries
+            ):
+                self.results.pop(next(iter(self.results)))
 
     def clear(self) -> None:
-        self.reports.clear()
+        self.backend.clear()
         self.results.clear()
         self.hits = 0
         self.misses = 0
 
     def stats(self) -> str:
-        return f"{len(self.reports)} entries, {self.hits} hits, {self.misses} misses"
+        return f"{len(self.backend)} entries, {self.hits} hits, {self.misses} misses"
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """Machine-readable counters (perf reports embed this)."""
+        total = self.hits + self.misses
+        return {
+            "entries": len(self.backend),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hits / total, 6) if total else 0.0,
+            "backend": type(self.backend).__name__,
+            "backend_stats": self.backend.stats.to_dict(),
+        }
 
 
 # ----------------------------------------------------------------------
@@ -321,8 +364,11 @@ class Explorer:
         Process-parallelism for batch evaluation.  1 (the default) stays
         in-process and also caches full :class:`PmmResult` objects.
     cache:
-        Shared :class:`EvaluationCache`; a private one is created when
-        omitted.
+        Shared :class:`EvaluationCache`, a bare
+        :class:`~repro.explore.cache.CacheBackend`, or a directory path
+        (wrapped in a :class:`~repro.explore.cache.DiskCache` so the
+        memo survives across processes and runs).  A private in-memory
+        cache is created when omitted.
     on_error:
         ``"raise"`` (default) propagates oracle failures; ``"skip"``
         drops infeasible points from the batch instead, recording them
@@ -335,7 +381,7 @@ class Explorer:
         space: Optional[DesignSpace] = None,
         *,
         workers: int = 1,
-        cache: Optional[EvaluationCache] = None,
+        cache: Union[None, str, Path, CacheBackend, EvaluationCache] = None,
         area_weight: float = DEFAULT_AREA_WEIGHT,
         seed: int = 0,
         on_error: str = "raise",
@@ -346,7 +392,10 @@ class Explorer:
             raise ValueError("on_error must be 'raise' or 'skip'")
         self.space = space
         self.workers = workers
-        self.cache = cache if cache is not None else EvaluationCache()
+        if isinstance(cache, EvaluationCache):
+            self.cache = cache
+        else:
+            self.cache = EvaluationCache(backend=resolve_backend(cache))
         self.area_weight = area_weight
         self.seed = seed
         self.on_error = on_error
@@ -401,21 +450,37 @@ class Explorer:
         """
         requests = [self.request_for(point) for point in points]
         fingerprints = [fingerprint_request(request) for request in requests]
+        # Reports are pinned batch-locally as soon as they are resolved:
+        # a bounded backend may evict any entry between the cache probe
+        # and record assembly, and correctness must not depend on
+        # retention.
+        known: Dict[str, CostReport] = {}
         fresh: Dict[str, PmmRequest] = {}
         for fingerprint, request in zip(fingerprints, requests):
-            if (
-                self.cache.get_report(fingerprint) is None
-                and fingerprint not in self._errors
-                and fingerprint not in fresh
-            ):
+            if fingerprint in fresh or fingerprint in known:
+                continue
+            report, error = self.cache.lookup(fingerprint)
+            if report is not None:
+                known[fingerprint] = report
+                continue
+            if error is None:
+                error = self._errors.get(fingerprint)
+            if error is None:
                 fresh[fingerprint] = request
-        self._evaluate_misses(fresh)
+            elif self.on_error == "raise":
+                # A failure persisted by an earlier (skip-mode) run over
+                # a shared cache: honoring raise semantics beats
+                # silently dropping the point.
+                raise ExplorationError(
+                    f"evaluation of {request.label!r} failed: {error}"
+                )
+        known.update(self._evaluate_misses(fresh))
         records = []
         for point, request, fingerprint in zip(points, requests, fingerprints):
             hit = fingerprint not in fresh
-            report = self.cache.get_report(fingerprint)
+            report = known.get(fingerprint)
             if report is None:  # failed and on_error == "skip"
-                failure = (point, self._errors[fingerprint])
+                failure = (point, self._known_error(fingerprint) or "unknown")
                 if failure not in self.failures:
                     self.failures.append(failure)
                 continue
@@ -436,10 +501,17 @@ class Explorer:
         self.records.extend(records)
         return records
 
-    def _evaluate_misses(self, fresh: Dict[str, PmmRequest]) -> None:
-        """Run the oracle for every fingerprint in ``fresh``."""
+    def _evaluate_misses(
+        self, fresh: Dict[str, PmmRequest]
+    ) -> Dict[str, CostReport]:
+        """Run the oracle for every fingerprint in ``fresh``.
+
+        Returns the computed reports so the caller does not depend on
+        the cache retaining them (a bounded backend may evict).
+        """
+        computed: Dict[str, CostReport] = {}
         if not fresh:
-            return
+            return computed
         self.cache.misses += len(fresh)
         items = list(fresh.items())
         if self.workers > 1 and len(items) > 1:
@@ -454,6 +526,7 @@ class Explorer:
                         self._record_failure(fingerprint, request, error)
                         continue
                     self.cache.store(fingerprint, report)
+                    computed[fingerprint] = report
                     self._seconds[fingerprint] = seconds
         else:
             for fingerprint, request in items:
@@ -469,7 +542,16 @@ class Explorer:
                     continue
                 seconds = time.perf_counter() - start
                 self.cache.store(fingerprint, result.report, result)
+                computed[fingerprint] = result.report
                 self._seconds[fingerprint] = seconds
+        return computed
+
+    def _known_error(self, fingerprint: str) -> Optional[str]:
+        """This explorer's (or the shared cache's) failure memo."""
+        error = self._errors.get(fingerprint)
+        if error is not None:
+            return error
+        return self.cache.get_error(fingerprint)
 
     def _record_failure(
         self, fingerprint: str, request: PmmRequest, error: str
@@ -477,6 +559,7 @@ class Explorer:
         if self.on_error == "raise":
             raise ExplorationError(f"evaluation of {request.label!r} failed: {error}")
         self._errors[fingerprint] = error
+        self.cache.store_failure(fingerprint, error)
 
     # ------------------------------------------------------------------
     def evaluate_program(

@@ -1,0 +1,64 @@
+"""Continuous-performance subsystem: exploration throughput as a number.
+
+The paper's methodology only works if the ``run_pmm`` feedback oracle
+is cheap enough to sit inside an exploration loop; this package makes
+that cost *measured* instead of assumed.  It provides
+
+* a timing harness (:mod:`repro.perf.harness`) with a registry of
+  named perf cases and calibrated repeats,
+* machine-readable reports and a regression comparator
+  (:mod:`repro.perf.report`),
+* the built-in case suite over the registered workloads
+  (:mod:`repro.perf.cases`), and
+* a CLI — ``python -m repro.perf run|compare|list`` — that emits
+  ``BENCH_<label>.json`` files and gates CI against
+  ``benchmarks/baselines/perf_baseline.json``.
+"""
+
+from .harness import (
+    DEFAULT_MAX_REPEATS,
+    DEFAULT_MIN_SECONDS,
+    CaseRun,
+    PerfCase,
+    clear_cases,
+    get_case,
+    list_cases,
+    perf_case,
+    register_case,
+    run_case,
+    run_cases,
+)
+from .report import (
+    SCHEMA_VERSION,
+    BenchReport,
+    CaseComparison,
+    CaseResult,
+    ComparisonReport,
+    compare_reports,
+    environment_info,
+)
+from . import cases  # noqa: F401  - registers the built-in suite
+from .cases import FAST_APPS, register_builtin_cases
+
+__all__ = [
+    "DEFAULT_MAX_REPEATS",
+    "DEFAULT_MIN_SECONDS",
+    "FAST_APPS",
+    "SCHEMA_VERSION",
+    "BenchReport",
+    "CaseComparison",
+    "CaseResult",
+    "CaseRun",
+    "ComparisonReport",
+    "PerfCase",
+    "clear_cases",
+    "compare_reports",
+    "environment_info",
+    "get_case",
+    "list_cases",
+    "perf_case",
+    "register_builtin_cases",
+    "register_case",
+    "run_case",
+    "run_cases",
+]

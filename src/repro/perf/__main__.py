@@ -1,0 +1,146 @@
+"""``python -m repro.perf`` — run the perf suite or gate a regression.
+
+Subcommands::
+
+    run      time a case selection, write BENCH_<label>.json
+    compare  diff two reports on evals/sec; non-zero exit on regression
+    list     show registered cases (optionally by tag)
+
+Typical flows::
+
+    # Local: full suite, written next to the repo root.
+    PYTHONPATH=src python -m repro.perf run --label local
+
+    # CI gate: quick subset against the committed baseline.
+    PYTHONPATH=src python -m repro.perf run --label ci --tag quick
+    PYTHONPATH=src python -m repro.perf compare BENCH_ci.json \
+        benchmarks/baselines/perf_baseline.json --threshold 2.0
+
+    # Refresh the committed baseline after an intentional perf change.
+    PYTHONPATH=src python -m repro.perf run --label baseline \
+        --out benchmarks/baselines
+    mv benchmarks/baselines/BENCH_baseline.json \
+        benchmarks/baselines/perf_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .harness import (
+    DEFAULT_MAX_REPEATS,
+    DEFAULT_MIN_SECONDS,
+    get_case,
+    list_cases,
+    run_cases,
+)
+from .report import BenchReport, compare_reports
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="exploration-throughput timing harness",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="time perf cases, emit BENCH_<label>.json")
+    run.add_argument("--label", default="local", help="report label (default: local)")
+    run.add_argument(
+        "--cases",
+        nargs="+",
+        metavar="NAME",
+        help="explicit case names (default: every registered case)",
+    )
+    run.add_argument("--tag", help="restrict to cases carrying this tag")
+    run.add_argument(
+        "--out",
+        default=".",
+        metavar="DIR",
+        help="directory for BENCH_<label>.json (default: cwd)",
+    )
+    run.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="calibration window per case (default: %(default)s)",
+    )
+    run.add_argument(
+        "--max-repeats",
+        type=int,
+        default=DEFAULT_MAX_REPEATS,
+        help="repeat cap per case (default: %(default)s)",
+    )
+
+    compare = commands.add_parser(
+        "compare", help="diff a report against a baseline; exit 1 on regression"
+    )
+    compare.add_argument("current", help="BENCH_*.json of the run under test")
+    compare.add_argument("baseline", help="baseline BENCH_*.json to diff against")
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="max tolerated slowdown factor in evals/sec (default: %(default)s)",
+    )
+
+    listing = commands.add_parser("list", help="show registered perf cases")
+    listing.add_argument("--tag", help="restrict to cases carrying this tag")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.cases and args.tag:
+        parser.error("--cases and --tag are mutually exclusive")
+    names: Optional[List[str]] = args.cases
+    report = run_cases(
+        names,
+        tag=args.tag,
+        label=args.label,
+        min_seconds=args.min_seconds,
+        max_repeats=args.max_repeats,
+        progress=lambda name: print(f"  timing {name} ...", flush=True),
+    )
+    path = report.write(args.out)
+    print()
+    print(report.describe())
+    print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    current = BenchReport.from_json(args.current)
+    baseline = BenchReport.from_json(args.baseline)
+    outcome = compare_reports(current, baseline, threshold=args.threshold)
+    print(outcome.describe())
+    return 0 if outcome.ok else 1
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    names = list_cases(args.tag)
+    if not names:
+        suffix = f" with tag {args.tag!r}" if args.tag else ""
+        print(f"no registered perf cases{suffix}")
+        return 1
+    width = max(len(name) for name in names)
+    for name in names:
+        case = get_case(name)
+        tags = ",".join(case.tags)
+        print(f"{name:<{width}}  [{tags}]  {case.description}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args, parser)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    return _cmd_list(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""Built-in perf cases: the throughput surface of the methodology.
+
+Four scenario families per fast workload (registered on import, tagged
+``quick`` when cheap enough for the CI gate):
+
+* ``oracle_single_*`` — one cold ``run_pmm`` call: the raw cost of a
+  single feedback evaluation, the floor every exploration pays.
+* ``sweep_cold_*`` — a full default-space exhaustive sweep through a
+  cold explorer: the realistic cold-start exploration path.
+* ``resweep_memoized_*`` — the same sweep against an already-warm
+  in-memory memo: measures the content-addressed cache's ceiling
+  (fingerprinting is the only remaining cost).
+* ``registry_sweep_warm_disk`` — every fast app swept into one shared
+  :class:`~repro.explore.cache.DiskCache`, then re-swept by *fresh*
+  explorer instances over the same directory: the cross-process /
+  cross-run warm path.  Zero oracle re-evaluations by construction.
+
+``sweep_parallel_cavity`` exercises the ``workers=N`` process pool and
+``oracle_single_btpc`` tracks the paper demonstrator's heavyweight
+oracle (tagged ``full`` — too slow for the CI quick subset).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Tuple
+
+from ..api import EvaluationCache, ExhaustiveSweep, Explorer
+from .harness import CaseRun, PerfCase, register_case
+
+#: Workloads whose oracle is cheap enough for repeated timing.
+FAST_APPS: Tuple[str, ...] = ("cavity", "motion", "wavelet")
+
+
+def _evals(explorer: Explorer) -> int:
+    """Oracle-visible evaluations an explorer has resolved so far."""
+    return explorer.cache.hits + explorer.cache.misses
+
+
+# ----------------------------------------------------------------------
+# Single-oracle and sweep cases, one per fast workload
+# ----------------------------------------------------------------------
+def _oracle_single(app: str) -> PerfCase:
+    def setup() -> Any:
+        explorer = Explorer.for_app(app)
+        return explorer.request_for(explorer.space.points()[0])
+
+    def run(request: Any) -> CaseRun:
+        request.run()
+        return CaseRun(evals=1, points=1)
+
+    return PerfCase(
+        name=f"oracle_single_{app}",
+        run=run,
+        setup=setup,
+        tags=("quick", "oracle") if app in FAST_APPS else ("full", "oracle"),
+        description=f"one cold run_pmm feedback call on the {app} baseline",
+    )
+
+
+def _sweep_cold(app: str) -> PerfCase:
+    def run(_: Any) -> CaseRun:
+        explorer = Explorer.for_app(app, on_error="skip")
+        explorer.run(ExhaustiveSweep())
+        return CaseRun(
+            evals=_evals(explorer),
+            points=len(explorer.space),
+            cache=explorer.cache.stats_dict(),
+        )
+
+    return PerfCase(
+        name=f"sweep_cold_{app}",
+        run=run,
+        tags=("quick", "sweep"),
+        description=f"full default-space sweep of {app} through a cold explorer",
+    )
+
+
+def _resweep_memoized(app: str) -> PerfCase:
+    def setup() -> Explorer:
+        explorer = Explorer.for_app(app, on_error="skip")
+        explorer.run(ExhaustiveSweep())
+        # The warm-up misses are setup cost, not the measured path.
+        explorer.cache.hits = explorer.cache.misses = 0
+        return explorer
+
+    def run(explorer: Explorer) -> CaseRun:
+        before = _evals(explorer)
+        result = explorer.run(ExhaustiveSweep())
+        assert result.cache_hit_count() == len(result.records)
+        return CaseRun(
+            evals=_evals(explorer) - before,
+            points=len(explorer.space),
+            cache=explorer.cache.stats_dict(),
+        )
+
+    return PerfCase(
+        name=f"resweep_memoized_{app}",
+        run=run,
+        setup=setup,
+        tags=("quick", "memo"),
+        description=f"warm re-sweep of {app}: memo lookups only, no oracle",
+    )
+
+
+# ----------------------------------------------------------------------
+# Parallel batch
+# ----------------------------------------------------------------------
+def _sweep_parallel_cavity() -> PerfCase:
+    def run(_: Any) -> CaseRun:
+        explorer = Explorer.for_app("cavity", workers=2, on_error="skip")
+        explorer.run(ExhaustiveSweep())
+        return CaseRun(
+            evals=_evals(explorer),
+            points=len(explorer.space),
+            cache=explorer.cache.stats_dict(),
+        )
+
+    return PerfCase(
+        name="sweep_parallel_cavity",
+        run=run,
+        tags=("parallel", "sweep"),
+        description="cavity cold sweep fanned over a 2-process pool",
+    )
+
+
+# ----------------------------------------------------------------------
+# Cross-run disk warm path
+# ----------------------------------------------------------------------
+def _registry_sweep_warm_disk() -> PerfCase:
+    def setup() -> Dict[str, Any]:
+        cache_dir = Path(tempfile.mkdtemp(prefix="repro-perf-cache-"))
+        warm = EvaluationCache(path=cache_dir)
+        for app in FAST_APPS:
+            Explorer.for_app(app, cache=warm, on_error="skip").run(ExhaustiveSweep())
+        return {"cache_dir": cache_dir}
+
+    def run(state: Dict[str, Any]) -> CaseRun:
+        # Fresh cache objects over the same directory: only the on-disk
+        # entries carry over, exactly like a new process would see.
+        shared = EvaluationCache(path=state["cache_dir"])
+        evals = 0
+        points = 0
+        for app in FAST_APPS:
+            explorer = Explorer.for_app(app, cache=shared, on_error="skip")
+            result = explorer.run(ExhaustiveSweep())
+            evals += len(result.records)
+            points += len(explorer.space)
+        if shared.misses:
+            raise AssertionError(
+                "warm DiskCache re-sweep re-ran the oracle "
+                f"{shared.misses} time(s)"
+            )
+        return CaseRun(
+            evals=evals,
+            points=points,
+            cache=shared.stats_dict(),
+            notes="registry-wide re-sweep against a warm DiskCache "
+            "(zero oracle re-evaluations)",
+        )
+
+    def teardown(state: Any) -> None:
+        if state is not None:
+            shutil.rmtree(state["cache_dir"], ignore_errors=True)
+
+    return PerfCase(
+        name="registry_sweep_warm_disk",
+        run=run,
+        setup=setup,
+        teardown=teardown,
+        tags=("quick", "disk", "memo"),
+        description="all fast apps re-swept by fresh explorers over a "
+        "warm on-disk cache",
+    )
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+def register_builtin_cases(replace: bool = False) -> None:
+    """Register the built-in suite (idempotent with ``replace=True``)."""
+    for app in FAST_APPS:
+        register_case(_oracle_single(app), replace=replace)
+        register_case(_sweep_cold(app), replace=replace)
+        register_case(_resweep_memoized(app), replace=replace)
+    register_case(_oracle_single("btpc"), replace=replace)
+    register_case(_sweep_parallel_cavity(), replace=replace)
+    register_case(_registry_sweep_warm_disk(), replace=replace)
+
+
+register_builtin_cases(replace=True)

@@ -1,0 +1,235 @@
+"""The timing harness: named perf cases, calibrated repeats, reports.
+
+A perf case is a named callable that exercises one throughput-relevant
+path of the methodology (a single oracle call, a cold sweep, a memoized
+re-sweep, a parallel batch, a disk-warm restart) and reports how many
+oracle-visible evaluations it performed (:class:`CaseRun`).  The
+harness times it with **calibrated repeats** — fast cases are rerun
+until the timed window passes ``min_seconds``, slow cases run once — so
+evals/sec numbers are stable without hand-tuned iteration counts.
+
+Cases register by name (module import of :mod:`repro.perf.cases` brings
+the built-ins in) and carry tags; the CI gate runs the ``quick`` tag
+subset, the full suite refreshes the committed baseline::
+
+    from repro.perf import run_cases
+
+    report = run_cases(tag="quick", label="local")
+    print(report.describe())
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .report import BenchReport, CaseResult
+
+#: Cases faster than this are repeated until the window fills.
+DEFAULT_MIN_SECONDS = 0.2
+DEFAULT_MAX_REPEATS = 25
+
+
+# ----------------------------------------------------------------------
+# What a case reports back
+# ----------------------------------------------------------------------
+@dataclass
+class CaseRun:
+    """One repeat's accounting, returned by the case body.
+
+    ``evals`` is the number of oracle-visible evaluations the repeat
+    performed (cache hits included); ``cache`` is a machine-readable
+    stats mapping (``EvaluationCache.stats_dict()`` shape) surfaced
+    verbatim into the report.
+    """
+
+    evals: int
+    points: int = 0
+    cache: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+
+# ----------------------------------------------------------------------
+# Cases and their registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PerfCase:
+    """A named, taggable timing scenario.
+
+    ``setup`` (optional) builds per-repeat state outside the timed
+    window — a memoized re-sweep case pre-warms its explorer there, so
+    the measurement covers only the warm path.  ``teardown`` (optional)
+    releases that state, also untimed.  ``run`` receives the setup's
+    return value (or ``None``) and must return a :class:`CaseRun`.
+    """
+
+    name: str
+    run: Callable[[Any], CaseRun]
+    setup: Optional[Callable[[], Any]] = None
+    teardown: Optional[Callable[[Any], None]] = None
+    tags: Tuple[str, ...] = ()
+    description: str = ""
+
+
+_CASES: Dict[str, PerfCase] = {}
+
+
+def register_case(case: PerfCase, replace: bool = False) -> PerfCase:
+    """Register a perf case under ``case.name``; returns the case."""
+    if case.name in _CASES and not replace:
+        raise ValueError(
+            f"perf case {case.name!r} is already registered; pass "
+            "replace=True to override it"
+        )
+    _CASES[case.name] = case
+    return case
+
+
+def perf_case(
+    name: str,
+    *,
+    tags: Sequence[str] = (),
+    setup: Optional[Callable[[], Any]] = None,
+    teardown: Optional[Callable[[Any], None]] = None,
+    description: str = "",
+    replace: bool = False,
+) -> Callable[[Callable[[Any], CaseRun]], Callable[[Any], CaseRun]]:
+    """Decorator form of :func:`register_case` for case bodies."""
+
+    def decorate(run: Callable[[Any], CaseRun]) -> Callable[[Any], CaseRun]:
+        register_case(
+            PerfCase(
+                name=name,
+                run=run,
+                setup=setup,
+                teardown=teardown,
+                tags=tuple(tags),
+                description=description or (run.__doc__ or "").strip(),
+            ),
+            replace=replace,
+        )
+        return run
+
+    return decorate
+
+
+def get_case(name: str) -> PerfCase:
+    try:
+        return _CASES[name]
+    except KeyError:
+        known = ", ".join(sorted(_CASES)) or "none"
+        raise KeyError(
+            f"no registered perf case {name!r} (registered: {known})"
+        ) from None
+
+
+def list_cases(tag: Optional[str] = None) -> Tuple[str, ...]:
+    """Registered case names (optionally filtered by tag), sorted."""
+    names = [case.name for case in _CASES.values() if tag is None or tag in case.tags]
+    return tuple(sorted(names))
+
+
+def clear_cases() -> None:
+    """Drop every registered case (test isolation hook)."""
+    _CASES.clear()
+
+
+# ----------------------------------------------------------------------
+# Timing
+# ----------------------------------------------------------------------
+def _timed_repeat(case: PerfCase) -> Tuple[float, CaseRun]:
+    state = case.setup() if case.setup is not None else None
+    try:
+        start = time.perf_counter()
+        outcome = case.run(state)
+        elapsed = time.perf_counter() - start
+    finally:
+        if case.teardown is not None:
+            case.teardown(state)
+    if not isinstance(outcome, CaseRun):
+        raise TypeError(
+            f"perf case {case.name!r} must return a CaseRun, "
+            f"got {type(outcome).__name__}"
+        )
+    return elapsed, outcome
+
+
+def run_case(
+    case: PerfCase,
+    *,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    max_repeats: int = DEFAULT_MAX_REPEATS,
+) -> CaseResult:
+    """Time one case with calibrated repeats and aggregate the result.
+
+    The first repeat doubles as the calibration probe: if it finishes
+    inside ``min_seconds``, enough further repeats run (capped at
+    ``max_repeats``) to fill the window.  Evals/sec aggregates over
+    *all* timed repeats, so short-case jitter averages out.
+    """
+    if max_repeats < 1:
+        raise ValueError("max_repeats must be >= 1")
+    timings: List[float] = []
+    runs: List[CaseRun] = []
+    elapsed, outcome = _timed_repeat(case)
+    timings.append(elapsed)
+    runs.append(outcome)
+    if elapsed < min_seconds:
+        target = min(max_repeats, max(1, math.ceil(min_seconds / max(elapsed, 1e-9))))
+        for _ in range(target - 1):
+            elapsed, outcome = _timed_repeat(case)
+            timings.append(elapsed)
+            runs.append(outcome)
+    wall = sum(timings)
+    total_evals = sum(run.evals for run in runs)
+    last = runs[-1]
+    return CaseResult(
+        name=case.name,
+        tags=case.tags,
+        repeats=len(timings),
+        points=last.points,
+        evals=last.evals,
+        wall_seconds=wall,
+        best_seconds=min(timings),
+        mean_seconds=wall / len(timings),
+        evals_per_sec=(total_evals / wall) if wall > 0 else 0.0,
+        cache=dict(last.cache),
+        notes=last.notes or case.description,
+    )
+
+
+def run_cases(
+    names: Optional[Sequence[str]] = None,
+    *,
+    tag: Optional[str] = None,
+    label: str = "local",
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    max_repeats: int = DEFAULT_MAX_REPEATS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchReport:
+    """Run a case selection into a :class:`BenchReport`.
+
+    ``names`` picks explicit cases (order preserved); otherwise every
+    registered case runs, optionally narrowed by ``tag``.  The two
+    selectors are mutually exclusive — silently intersecting them
+    would run something other than what the caller spelled out.  Tag
+    selections run in sorted-name order so reports are ordering-stable.
+    """
+    if names is not None and tag is not None:
+        raise ValueError("pass either explicit case names or a tag, not both")
+    if names is not None:
+        selected = [get_case(name) for name in names]
+    else:
+        selected = [get_case(name) for name in list_cases(tag)]
+    if not selected:
+        raise ValueError("no perf cases selected")
+    report = BenchReport(label=label)
+    for case in selected:
+        if progress is not None:
+            progress(case.name)
+        report.cases.append(
+            run_case(case, min_seconds=min_seconds, max_repeats=max_repeats)
+        )
+    return report

@@ -1,0 +1,301 @@
+"""Machine-readable perf reports and the regression comparator.
+
+A harness run produces a :class:`BenchReport` — one :class:`CaseResult`
+per perf case — serialized as ``BENCH_<label>.json``.  The schema is
+deliberately *ordering-stable*: ``to_dict`` emits keys in a fixed
+literal order and serialization never sorts, so two reports from the
+same code diff cleanly and the committed baseline under
+``benchmarks/baselines/`` produces minimal churn when refreshed.
+
+:func:`compare_reports` diffs a current report against a baseline on
+the one metric that tracks exploration throughput — **evaluations per
+second** — and flags any case whose slowdown factor exceeds the given
+threshold.  The CI perf gate is exactly that comparison with a generous
+threshold, so only real hot-path regressions fail the build.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Per-case results
+# ----------------------------------------------------------------------
+@dataclass
+class CaseResult:
+    """Aggregated timing of one perf case over its calibrated repeats.
+
+    ``evals`` counts oracle-visible evaluations *per repeat* (cache
+    hits included — a memoized re-sweep shows its speedup as a higher
+    ``evals_per_sec``, not a lower ``evals``); ``points`` is the number
+    of distinct design points the case touches per repeat.
+    """
+
+    name: str
+    tags: Tuple[str, ...] = ()
+    repeats: int = 1
+    points: int = 0
+    evals: int = 0
+    wall_seconds: float = 0.0
+    best_seconds: float = 0.0
+    mean_seconds: float = 0.0
+    evals_per_sec: float = 0.0
+    cache: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "tags": list(self.tags),
+            "repeats": self.repeats,
+            "points": self.points,
+            "evals": self.evals,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "best_seconds": round(self.best_seconds, 6),
+            "mean_seconds": round(self.mean_seconds, 6),
+            "evals_per_sec": round(self.evals_per_sec, 3),
+            "cache": dict(self.cache),
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CaseResult":
+        return cls(
+            name=data["name"],
+            tags=tuple(data.get("tags", ())),
+            repeats=int(data.get("repeats", 1)),
+            points=int(data.get("points", 0)),
+            evals=int(data.get("evals", 0)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            best_seconds=float(data.get("best_seconds", 0.0)),
+            mean_seconds=float(data.get("mean_seconds", 0.0)),
+            evals_per_sec=float(data.get("evals_per_sec", 0.0)),
+            cache=dict(data.get("cache", {})),
+            notes=data.get("notes", ""),
+        )
+
+
+# ----------------------------------------------------------------------
+# The report
+# ----------------------------------------------------------------------
+def environment_info() -> Dict[str, Any]:
+    """The reproducibility context stamped into every report."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+    }
+
+
+@dataclass
+class BenchReport:
+    """One harness run: label + environment + per-case results."""
+
+    label: str
+    environment: Dict[str, Any] = field(default_factory=environment_info)
+    cases: List[CaseResult] = field(default_factory=list)
+    schema_version: int = SCHEMA_VERSION
+
+    def case(self, name: str) -> CaseResult:
+        for case in self.cases:
+            if case.name == name:
+                return case
+        raise KeyError(f"no case {name!r} in report {self.label!r}")
+
+    def case_names(self) -> Tuple[str, ...]:
+        return tuple(case.name for case in self.cases)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "label": self.label,
+            "environment": dict(self.environment),
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchReport":
+        return cls(
+            label=data.get("label", ""),
+            environment=dict(data.get("environment", {})),
+            cases=[CaseResult.from_dict(case) for case in data.get("cases", ())],
+            schema_version=int(data.get("schema_version", SCHEMA_VERSION)),
+        )
+
+    # ------------------------------------------------------------------
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        # No sort_keys: dict insertion order IS the schema order, so the
+        # emitted file is byte-stable across runs of the same code.
+        text = json.dumps(self.to_dict(), indent=2, ensure_ascii=False) + "\n"
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]) -> "BenchReport":
+        """Parse from a JSON string or a path to a JSON file."""
+        if isinstance(source, Path) or (
+            isinstance(source, str) and not source.lstrip().startswith("{")
+        ):
+            text = Path(source).read_text(encoding="utf-8")
+        else:
+            text = source
+        return cls.from_dict(json.loads(text))
+
+    def filename(self) -> str:
+        return f"BENCH_{self.label}.json"
+
+    def write(self, directory: Union[str, Path] = ".") -> Path:
+        """Write ``BENCH_<label>.json`` under ``directory``."""
+        path = Path(directory) / self.filename()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self.to_json(path)
+        return path
+
+    def describe(self) -> str:
+        """Human-readable table of the per-case throughput numbers."""
+        python = self.environment.get("python", "?")
+        lines = [
+            f"perf report {self.label!r} (python {python})",
+            f"{'case':<34}{'repeats':>8}{'evals':>7}{'wall s':>9}"
+            f"{'evals/s':>11}{'hit rate':>9}",
+        ]
+        for case in self.cases:
+            hit_rate = case.cache.get("hit_rate", "")
+            hit_text = f"{hit_rate:.2f}" if isinstance(hit_rate, float) else "-"
+            lines.append(
+                f"{case.name:<34}{case.repeats:>8}{case.evals:>7}"
+                f"{case.wall_seconds:>9.3f}{case.evals_per_sec:>11.1f}"
+                f"{hit_text:>9}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Regression comparison
+# ----------------------------------------------------------------------
+@dataclass
+class CaseComparison:
+    """One case diffed between the current run and the baseline."""
+
+    name: str
+    current_evals_per_sec: float
+    baseline_evals_per_sec: float
+    #: Slowdown factor: baseline throughput over current throughput.
+    #: 1.0 = unchanged, 2.0 = current is half as fast, <1.0 = faster.
+    slowdown: float
+    regressed: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "current_evals_per_sec": round(self.current_evals_per_sec, 3),
+            "baseline_evals_per_sec": round(self.baseline_evals_per_sec, 3),
+            "slowdown": round(self.slowdown, 4),
+            "regressed": self.regressed,
+        }
+
+
+@dataclass
+class ComparisonReport:
+    """The full diff the CI gate acts on."""
+
+    threshold: float
+    comparisons: List[CaseComparison] = field(default_factory=list)
+    #: Cases present in only one report are reported, never failed on:
+    #: the CI quick subset is a strict subset of the full baseline.
+    missing_in_baseline: List[str] = field(default_factory=list)
+    missing_in_current: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[CaseComparison]:
+        return [entry for entry in self.comparisons if entry.regressed]
+
+    @property
+    def ok(self) -> bool:
+        # Zero shared cases is a gate failure, not a pass: case-name
+        # drift (or comparing against the wrong baseline file) must not
+        # leave CI green while gating nothing.
+        return bool(self.comparisons) and not self.regressions
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "ok": self.ok,
+            "comparisons": [entry.to_dict() for entry in self.comparisons],
+            "missing_in_baseline": list(self.missing_in_baseline),
+            "missing_in_current": list(self.missing_in_current),
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"{'case':<34}{'baseline e/s':>13}{'current e/s':>13}"
+            f"{'slowdown':>10}  verdict",
+        ]
+        for entry in self.comparisons:
+            verdict = "REGRESSED" if entry.regressed else "ok"
+            lines.append(
+                f"{entry.name:<34}{entry.baseline_evals_per_sec:>13.1f}"
+                f"{entry.current_evals_per_sec:>13.1f}{entry.slowdown:>10.2f}"
+                f"  {verdict}"
+            )
+        for name in self.missing_in_baseline:
+            lines.append(f"{name:<34}  (not in baseline, skipped)")
+        for name in self.missing_in_current:
+            lines.append(f"{name:<34}  (not in current run, skipped)")
+        if not self.comparisons:
+            verdict = "FAILED: no shared cases to compare"
+        elif self.ok:
+            verdict = "no regressions"
+        else:
+            verdict = f"{len(self.regressions)} case(s) regressed"
+        lines.append(f"threshold {self.threshold:.2f}x: {verdict}")
+        return "\n".join(lines)
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    threshold: float = 2.0,
+) -> ComparisonReport:
+    """Diff evals/sec per shared case; flag slowdowns beyond threshold.
+
+    A case with no baseline throughput (0 evals/sec recorded) can never
+    regress — there is nothing to regress from.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be > 0")
+    result = ComparisonReport(threshold=threshold)
+    baseline_names = set(baseline.case_names())
+    current_names = set(current.case_names())
+    for case in current.cases:
+        if case.name not in baseline_names:
+            result.missing_in_baseline.append(case.name)
+            continue
+        reference = baseline.case(case.name)
+        if reference.evals_per_sec <= 0.0:
+            slowdown = 1.0
+        elif case.evals_per_sec <= 0.0:
+            slowdown = float("inf")
+        else:
+            slowdown = reference.evals_per_sec / case.evals_per_sec
+        result.comparisons.append(
+            CaseComparison(
+                name=case.name,
+                current_evals_per_sec=case.evals_per_sec,
+                baseline_evals_per_sec=reference.evals_per_sec,
+                slowdown=slowdown,
+                regressed=slowdown > threshold,
+            )
+        )
+    result.missing_in_current = sorted(baseline_names - current_names)
+    return result

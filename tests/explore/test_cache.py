@@ -1,0 +1,331 @@
+"""Cache backends: LRU bounds, disk persistence, corruption tolerance.
+
+Backend-level tests use synthetic payloads (no oracle); the
+integration tests at the bottom drive a real FIR design space through
+the explorer, including a warm-start from a *separate process*.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    DesignSpace,
+    DiskCache,
+    EvaluationCache,
+    ExhaustiveSweep,
+    Explorer,
+    MemoryCache,
+    ProgramBuilder,
+)
+from repro.explore.cache import resolve_backend
+
+
+def _payload(value: int) -> dict:
+    return {"value": value}
+
+
+# ----------------------------------------------------------------------
+# MemoryCache: LRU bound and stats
+# ----------------------------------------------------------------------
+def test_memory_cache_round_trip_and_stats():
+    cache = MemoryCache()
+    assert cache.get("a") is None
+    cache.put("a", _payload(1))
+    assert cache.get("a") == {"value": 1}
+    assert len(cache) == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.stores == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_memory_cache_lru_eviction_counts():
+    cache = MemoryCache(max_entries=2)
+    cache.put("a", _payload(1))
+    cache.put("b", _payload(2))
+    cache.get("a")  # refresh recency: b is now least recently used
+    cache.put("c", _payload(3))
+    assert cache.get("b") is None
+    assert cache.get("a") is not None
+    assert cache.get("c") is not None
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+
+
+def test_memory_cache_put_refreshes_recency():
+    cache = MemoryCache(max_entries=2)
+    cache.put("a", _payload(1))
+    cache.put("b", _payload(2))
+    cache.put("a", _payload(10))  # rewrite refreshes: b becomes the victim
+    cache.put("c", _payload(3))
+    assert cache.keys() == ("a", "c")
+    assert cache.get("a") == {"value": 10}
+
+
+def test_memory_cache_rejects_bad_bound():
+    with pytest.raises(ValueError):
+        MemoryCache(max_entries=0)
+
+
+def test_memory_cache_clear_resets_stats():
+    cache = MemoryCache()
+    cache.put("a", _payload(1))
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.hits == 0
+    assert cache.stats.stores == 0
+
+
+# ----------------------------------------------------------------------
+# DiskCache: persistence, sharding, corruption, eviction
+# ----------------------------------------------------------------------
+def test_disk_cache_round_trip_across_instances(tmp_path):
+    first = DiskCache(tmp_path / "cache")
+    first.put("ab12", _payload(7))
+    second = DiskCache(tmp_path / "cache")
+    assert len(second) == 1
+    assert second.get("ab12") == {"value": 7}
+    assert second.stats.hits == 1
+
+
+def test_disk_cache_shards_by_prefix(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.put("abcd", _payload(1))
+    cache.put("efgh", _payload(2))
+    assert (tmp_path / "ab" / "abcd.json").exists()
+    assert (tmp_path / "ef" / "efgh.json").exists()
+
+
+def test_disk_cache_tolerates_corrupted_shard(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.put("abcd", _payload(1))
+    (tmp_path / "ab" / "abcd.json").write_text("{truncated", encoding="utf-8")
+    fresh = DiskCache(tmp_path)  # no in-memory mirror: must read the file
+    assert fresh.get("abcd") is None
+    assert fresh.stats.corrupt == 1
+    # The bad file is discarded so a rewrite repairs the entry.
+    assert not (tmp_path / "ab" / "abcd.json").exists()
+    fresh.put("abcd", _payload(2))
+    assert DiskCache(tmp_path).get("abcd") == {"value": 2}
+
+
+def test_disk_cache_tolerates_non_object_payload(tmp_path):
+    cache = DiskCache(tmp_path)
+    shard = tmp_path / "ab"
+    shard.mkdir()
+    (shard / "abcd.json").write_text("[1, 2]", encoding="utf-8")
+    assert cache.get("abcd") is None
+    assert cache.stats.corrupt == 1
+
+
+def test_disk_cache_atomic_writes_leave_no_temp_files(tmp_path):
+    cache = DiskCache(tmp_path)
+    for index in range(5):
+        cache.put(f"k{index:03d}", _payload(index))
+    leftovers = list(tmp_path.rglob("*.tmp"))
+    assert leftovers == []
+
+
+def test_disk_cache_max_entries_prunes_files(tmp_path):
+    cache = DiskCache(tmp_path, max_entries=2)
+    cache.put("aa01", _payload(1))
+    cache.put("bb02", _payload(2))
+    cache.put("cc03", _payload(3))
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    assert not (tmp_path / "aa" / "aa01.json").exists()
+    assert DiskCache(tmp_path).get("cc03") == {"value": 3}
+
+
+def test_disk_cache_clear_removes_entries(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.put("abcd", _payload(1))
+    cache.clear()
+    assert len(cache) == 0
+    assert DiskCache(tmp_path).get("abcd") is None
+
+
+# ----------------------------------------------------------------------
+# resolve_backend / EvaluationCache wiring
+# ----------------------------------------------------------------------
+def test_resolve_backend_variants(tmp_path):
+    assert isinstance(resolve_backend(None), MemoryCache)
+    assert isinstance(resolve_backend(tmp_path / "c"), DiskCache)
+    backend = MemoryCache()
+    assert resolve_backend(backend) is backend
+    with pytest.raises(ValueError):
+        resolve_backend(backend, max_entries=3)
+    with pytest.raises(TypeError):
+        resolve_backend(42)
+
+
+def test_evaluation_cache_rejects_path_plus_backend(tmp_path):
+    with pytest.raises(ValueError):
+        EvaluationCache(path=tmp_path, backend=MemoryCache())
+
+
+# ----------------------------------------------------------------------
+# Explorer integration over a real design space
+# ----------------------------------------------------------------------
+def _program(taps=8):
+    builder = ProgramBuilder(f"fir{taps}")
+    builder.array("samples", shape=(4096,), bitwidth=12)
+    builder.array("coeffs", shape=(32,), bitwidth=16)
+    builder.array("output", shape=(4096,), bitwidth=16)
+    nest = builder.nest("filter", iterators=("i",), trips=(4096,))
+    sample = nest.read("samples", index=("i",))
+    taps_read = nest.read("coeffs", mult=float(taps), after=[sample], label="taps")
+    nest.write("output", index=("i",), after=[taps_read])
+    return builder.build()
+
+
+def _space():
+    space = DesignSpace(
+        "fir",
+        cycle_budget=50_000,
+        frame_time_s=1e-3,
+        budget_fractions=(1.0, 0.9),
+        onchip_counts=(None, 2),
+    )
+    space.add_variant("taps8", build=lambda: _program(8))
+    return space
+
+
+def test_explorer_accepts_path_as_cache(tmp_path):
+    cache_dir = tmp_path / "cache"
+    first = Explorer(_space(), cache=cache_dir)
+    first.run(ExhaustiveSweep())
+    assert isinstance(first.cache.backend, DiskCache)
+    assert first.cache.misses == 4
+    second = Explorer(_space(), cache=cache_dir)
+    second.run(ExhaustiveSweep())
+    assert second.cache.misses == 0
+    assert second.cache.hits == 4
+
+
+def test_explorer_accepts_bare_backend():
+    backend = MemoryCache(max_entries=64)
+    explorer = Explorer(_space(), cache=backend)
+    explorer.run(ExhaustiveSweep())
+    assert explorer.cache.backend is backend
+    assert backend.stats.stores == 4
+    # One backend probe per cold point: misses are not double-counted.
+    assert backend.stats.misses == 4
+
+
+def test_explorer_memo_stays_bounded_under_long_runs():
+    """The unbounded-growth fix: a bounded memo never exceeds its cap."""
+    backend = MemoryCache(max_entries=2)
+    explorer = Explorer(_space(), cache=backend)
+    for _ in range(3):  # repeated strategy runs over 4 points
+        explorer.run(ExhaustiveSweep())
+    assert len(backend) == 2
+    assert backend.stats.evictions >= 2
+    # Evicted points simply re-evaluate: correctness is unaffected.
+    rerun = explorer.run(ExhaustiveSweep())
+    assert len(rerun.records) == 4
+
+
+def test_evaluation_cache_failures_persist_to_disk(tmp_path):
+    cache_dir = tmp_path / "cache"
+    space = _space()
+    space.onchip_counts = (2, 10)  # 10 is infeasible for a 3-group program
+    first = Explorer(space, cache=cache_dir, on_error="skip")
+    first.run(ExhaustiveSweep())
+    assert first.failures
+    # A fresh explorer over the same directory re-runs *nothing*: both
+    # the reports and the negative results are warm.
+    second = Explorer(_space(), cache=cache_dir, on_error="skip")
+    space2 = second.space
+    space2.onchip_counts = (2, 10)
+    second.run(ExhaustiveSweep())
+    assert second.cache.misses == 0
+    assert len(second.failures) == len(first.failures)
+
+
+def test_persisted_failure_raises_in_raise_mode(tmp_path):
+    """A failure cached by a skip-mode run must still raise elsewhere."""
+    from repro.api import ExplorationError
+
+    cache_dir = tmp_path / "cache"
+    space = _space()
+    space.onchip_counts = (10,)  # infeasible for a 3-group program
+    skip = Explorer(space, cache=cache_dir, on_error="skip")
+    skip.run(ExhaustiveSweep())
+    assert skip.failures
+
+    strict_space = _space()
+    strict_space.onchip_counts = (10,)
+    strict = Explorer(strict_space, cache=cache_dir)
+    with pytest.raises(ExplorationError):
+        strict.evaluate(strict_space.points()[0])
+
+
+_WARM_SCRIPT = """
+import sys
+
+from repro.api import DesignSpace, ExhaustiveSweep, Explorer, ProgramBuilder
+
+builder = ProgramBuilder("fir8")
+builder.array("samples", shape=(4096,), bitwidth=12)
+builder.array("coeffs", shape=(32,), bitwidth=16)
+builder.array("output", shape=(4096,), bitwidth=16)
+nest = builder.nest("filter", iterators=("i",), trips=(4096,))
+sample = nest.read("samples", index=("i",))
+taps = nest.read("coeffs", mult=8.0, after=[sample], label="taps")
+nest.write("output", index=("i",), after=[taps])
+
+space = DesignSpace(
+    "fir",
+    cycle_budget=50_000,
+    frame_time_s=1e-3,
+    budget_fractions=(1.0, 0.9),
+    onchip_counts=(None, 2),
+)
+space.add_variant("taps8", program=builder.build())
+
+explorer = Explorer(space, cache=sys.argv[1])
+explorer.run(ExhaustiveSweep())
+print(f"misses={explorer.cache.misses} hits={explorer.cache.hits}")
+"""
+
+
+def test_disk_cache_warm_start_across_processes(tmp_path):
+    """A spawned subprocess reuses the cache dir: zero re-evaluations."""
+    cache_dir = tmp_path / "cache"
+    script = tmp_path / "warm.py"
+    script.write_text(_WARM_SCRIPT, encoding="utf-8")
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+
+    cold = subprocess.run(
+        [sys.executable, str(script), str(cache_dir)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert "misses=4 hits=0" in cold.stdout
+
+    warm = subprocess.run(
+        [sys.executable, str(script), str(cache_dir)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert "misses=0 hits=4" in warm.stdout
+
+    # The on-disk entries are plain JSON objects under sharded dirs.
+    files = sorted(cache_dir.rglob("*.json"))
+    assert len(files) == 4
+    for file in files:
+        payload = json.loads(file.read_text(encoding="utf-8"))
+        assert isinstance(payload, dict)

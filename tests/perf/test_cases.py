@@ -1,0 +1,57 @@
+"""The built-in perf cases against the real oracle (fast apps only)."""
+
+import pytest
+
+from repro.perf import FAST_APPS, get_case, list_cases, run_case
+
+
+def test_fast_apps_are_registered_workloads():
+    from repro.api import list_apps
+
+    assert set(FAST_APPS) <= set(list_apps())
+
+
+def test_every_fast_app_has_the_case_family():
+    names = set(list_cases())
+    for app in FAST_APPS:
+        assert f"oracle_single_{app}" in names
+        assert f"sweep_cold_{app}" in names
+        assert f"resweep_memoized_{app}" in names
+
+
+def test_oracle_single_case_counts_one_eval():
+    result = run_case(
+        get_case("oracle_single_motion"), min_seconds=0.0, max_repeats=1
+    )
+    assert result.evals == 1
+    assert result.points == 1
+    assert result.evals_per_sec > 0
+
+
+def test_sweep_cold_case_reports_cold_cache():
+    result = run_case(get_case("sweep_cold_motion"), min_seconds=0.0, max_repeats=1)
+    assert result.evals == result.cache["misses"] > 0
+    assert result.cache["hits"] == 0
+    assert result.points >= result.evals
+
+
+def test_resweep_memoized_case_is_all_hits():
+    result = run_case(
+        get_case("resweep_memoized_motion"), min_seconds=0.0, max_repeats=1
+    )
+    assert result.evals > 0
+    assert result.cache["misses"] == 0
+    assert result.cache["hit_rate"] == pytest.approx(1.0)
+
+
+def test_registry_warm_disk_resweep_never_reruns_the_oracle():
+    """Acceptance: a warm DiskCache re-sweep does zero oracle re-evals."""
+    result = run_case(
+        get_case("registry_sweep_warm_disk"), min_seconds=0.0, max_repeats=1
+    )
+    assert result.evals > 0
+    assert result.cache["misses"] == 0
+    assert result.cache["backend"] == "DiskCache"
+    # The on-disk store held every report the re-sweep needed.
+    backend_stats = result.cache["backend_stats"]
+    assert backend_stats["corrupt"] == 0

@@ -1,0 +1,118 @@
+"""The ``python -m repro.perf`` CLI: run, compare, list, exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf import BenchReport, CaseResult, CaseRun, PerfCase, register_case
+from repro.perf.__main__ import main
+
+
+@pytest.fixture
+def synthetic_case(monkeypatch):
+    """A registered trivial case the CLI can run instantly."""
+    monkeypatch.setattr("repro.perf.harness._CASES", {})
+    register_case(
+        PerfCase(
+            name="synthetic",
+            run=lambda _state: CaseRun(evals=2, points=2, cache={"misses": 2}),
+            tags=("test",),
+            description="synthetic CLI fixture case",
+        )
+    )
+    return "synthetic"
+
+
+def _write_report(path, label, evals_per_sec):
+    report = BenchReport(
+        label=label,
+        cases=[CaseResult(name="synthetic", evals=2, evals_per_sec=evals_per_sec)],
+    )
+    report.to_json(path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# run
+# ----------------------------------------------------------------------
+def _run_args(tmp_path, *extra):
+    args = ["run", "--out", str(tmp_path), "--min-seconds", "0.0"]
+    args += ["--max-repeats", "1"]
+    args += list(extra)
+    return args
+
+
+def test_run_emits_bench_json(tmp_path, capsys, synthetic_case):
+    code = main(
+        _run_args(tmp_path, "--label", "clitest", "--cases", "synthetic")
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "timing synthetic" in out
+    assert "BENCH_clitest.json" in out
+    payload = json.loads((tmp_path / "BENCH_clitest.json").read_text())
+    assert payload["label"] == "clitest"
+    assert payload["cases"][0]["name"] == "synthetic"
+    assert payload["cases"][0]["evals_per_sec"] > 0
+
+
+def test_run_by_tag(tmp_path, synthetic_case):
+    code = main(_run_args(tmp_path, "--label", "t", "--tag", "test"))
+    assert code == 0
+    assert (tmp_path / "BENCH_t.json").exists()
+
+
+def test_run_rejects_cases_plus_tag(tmp_path, synthetic_case):
+    with pytest.raises(SystemExit):
+        main(_run_args(tmp_path, "--cases", "synthetic", "--tag", "test"))
+
+
+# ----------------------------------------------------------------------
+# compare
+# ----------------------------------------------------------------------
+def test_compare_ok_exits_zero(tmp_path, capsys):
+    current = _write_report(tmp_path / "current.json", "now", 95.0)
+    baseline = _write_report(tmp_path / "base.json", "base", 100.0)
+    code = main(["compare", str(current), str(baseline), "--threshold", "2.0"])
+    assert code == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_compare_regression_exits_nonzero(tmp_path, capsys):
+    current = _write_report(tmp_path / "current.json", "now", 10.0)
+    baseline = _write_report(tmp_path / "base.json", "base", 100.0)
+    code = main(["compare", str(current), str(baseline), "--threshold", "2.0"])
+    assert code == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_compare_threshold_is_respected(tmp_path):
+    current = _write_report(tmp_path / "current.json", "now", 10.0)
+    baseline = _write_report(tmp_path / "base.json", "base", 100.0)
+    assert main(["compare", str(current), str(baseline), "--threshold", "20"]) == 0
+
+
+def test_compare_against_committed_baseline_schema(tmp_path):
+    """The committed baseline parses and compares cleanly."""
+    repo_root = Path(__file__).resolve().parents[2]
+    baseline_path = str(repo_root / "benchmarks" / "baselines" / "perf_baseline.json")
+    baseline = BenchReport.from_json(baseline_path)
+    assert baseline.case_names()
+    current = tmp_path / "current.json"
+    baseline.to_json(current)  # identical numbers: never a regression
+    assert main(["compare", str(current), baseline_path, "--threshold", "2.0"]) == 0
+
+
+# ----------------------------------------------------------------------
+# list
+# ----------------------------------------------------------------------
+def test_list_shows_cases(capsys, synthetic_case):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "synthetic" in out
+    assert "synthetic CLI fixture case" in out
+
+
+def test_list_unknown_tag_fails(capsys, synthetic_case):
+    assert main(["list", "--tag", "ghost"]) == 1

@@ -1,0 +1,198 @@
+"""The timing harness: registry, calibrated repeats, aggregation."""
+
+import pytest
+
+from repro.perf import (
+    CaseRun,
+    PerfCase,
+    get_case,
+    list_cases,
+    perf_case,
+    register_case,
+    run_case,
+    run_cases,
+)
+from repro.perf.harness import _CASES
+
+
+@pytest.fixture
+def scratch_registry(monkeypatch):
+    """An empty case registry for the duration of one test."""
+    monkeypatch.setattr("repro.perf.harness._CASES", {})
+    return None
+
+
+def _counting_case(name="counting", tags=("test",), evals=5):
+    calls = {"setup": 0, "run": 0, "teardown": 0}
+
+    def setup():
+        calls["setup"] += 1
+        return {"token": calls["setup"]}
+
+    def run(state):
+        assert state["token"] == calls["setup"]
+        calls["run"] += 1
+        return CaseRun(evals=evals, points=evals, cache={"misses": 0})
+
+    def teardown(state):
+        assert state is not None
+        calls["teardown"] += 1
+
+    case = PerfCase(name=name, run=run, setup=setup, teardown=teardown, tags=tags)
+    return case, calls
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_register_and_lookup(scratch_registry):
+    case, _ = _counting_case()
+    register_case(case)
+    assert get_case("counting") is case
+    assert list_cases() == ("counting",)
+    assert list_cases("test") == ("counting",)
+    assert list_cases("other") == ()
+
+
+def test_duplicate_registration_raises(scratch_registry):
+    case, _ = _counting_case()
+    register_case(case)
+    with pytest.raises(ValueError):
+        register_case(case)
+    register_case(case, replace=True)  # explicit replace is fine
+
+
+def test_unknown_case_raises(scratch_registry):
+    with pytest.raises(KeyError):
+        get_case("ghost")
+
+
+def test_perf_case_decorator_registers(scratch_registry):
+    @perf_case("decorated", tags=("test",))
+    def body(_state):
+        """Docstring becomes the description."""
+        return CaseRun(evals=1)
+
+    case = get_case("decorated")
+    assert case.description == "Docstring becomes the description."
+    assert case.tags == ("test",)
+
+
+def test_builtin_suite_is_registered():
+    names = list_cases()
+    assert "sweep_cold_cavity" in names
+    assert "registry_sweep_warm_disk" in names
+    quick = list_cases("quick")
+    assert quick and set(quick) <= set(names)
+    assert "oracle_single_btpc" not in quick
+
+
+# ----------------------------------------------------------------------
+# Timing / calibration
+# ----------------------------------------------------------------------
+def test_fast_case_is_repeated_to_fill_the_window(scratch_registry):
+    case, calls = _counting_case()
+    result = run_case(case, min_seconds=0.02, max_repeats=50)
+    assert result.repeats > 1
+    assert calls["run"] == result.repeats
+    assert calls["setup"] == calls["teardown"] == result.repeats
+    assert result.evals == 5
+    assert result.points == 5
+    assert result.wall_seconds > 0
+    assert result.best_seconds <= result.mean_seconds
+    assert result.evals_per_sec == pytest.approx(
+        5 * result.repeats / result.wall_seconds
+    )
+
+
+def test_slow_case_runs_once(scratch_registry):
+    def run(_state):
+        import time
+
+        time.sleep(0.03)
+        return CaseRun(evals=1)
+
+    result = run_case(PerfCase(name="slow", run=run), min_seconds=0.01)
+    assert result.repeats == 1
+
+
+def test_repeats_are_capped(scratch_registry):
+    case, calls = _counting_case()
+    result = run_case(case, min_seconds=10.0, max_repeats=3)
+    assert result.repeats == 3
+    assert calls["run"] == 3
+
+
+def test_teardown_runs_even_when_case_fails(scratch_registry):
+    calls = {"teardown": 0}
+
+    def run(_state):
+        raise RuntimeError("boom")
+
+    def teardown(_state):
+        calls["teardown"] += 1
+
+    case = PerfCase(name="failing", run=run, teardown=teardown)
+    with pytest.raises(RuntimeError):
+        run_case(case)
+    assert calls["teardown"] == 1
+
+
+def test_non_caserun_return_is_rejected(scratch_registry):
+    case = PerfCase(name="bad", run=lambda _state: {"evals": 1})
+    with pytest.raises(TypeError):
+        run_case(case)
+
+
+def test_invalid_knobs_are_rejected(scratch_registry):
+    case, _ = _counting_case()
+    with pytest.raises(ValueError):
+        run_case(case, max_repeats=0)
+
+
+# ----------------------------------------------------------------------
+# run_cases -> BenchReport
+# ----------------------------------------------------------------------
+def test_run_cases_by_name_preserves_order(scratch_registry):
+    first, _ = _counting_case("zz_first")
+    second, _ = _counting_case("aa_second")
+    register_case(first)
+    register_case(second)
+    report = run_cases(
+        ["zz_first", "aa_second"], label="ordered", min_seconds=0.0, max_repeats=1
+    )
+    assert report.case_names() == ("zz_first", "aa_second")
+    assert report.label == "ordered"
+
+
+def test_run_cases_by_tag_sorts_names(scratch_registry):
+    for name in ("bbb", "aaa", "ccc"):
+        case, _ = _counting_case(name)
+        register_case(case)
+    report = run_cases(tag="test", label="t", min_seconds=0.0, max_repeats=1)
+    assert report.case_names() == ("aaa", "bbb", "ccc")
+
+
+def test_run_cases_empty_selection_raises(scratch_registry):
+    with pytest.raises(ValueError):
+        run_cases(tag="nonexistent")
+
+
+def test_run_cases_rejects_names_plus_tag(scratch_registry):
+    case, _ = _counting_case()
+    register_case(case)
+    with pytest.raises(ValueError):
+        run_cases(["counting"], tag="test")
+
+
+def test_run_cases_reports_progress(scratch_registry):
+    case, _ = _counting_case()
+    register_case(case)
+    seen = []
+    run_cases(label="p", min_seconds=0.0, max_repeats=1, progress=seen.append)
+    assert seen == ["counting"]
+
+
+def test_scratch_registry_does_not_leak():
+    """The real registry is intact after monkeypatched tests."""
+    assert "sweep_cold_cavity" in _CASES or "sweep_cold_cavity" in list_cases()

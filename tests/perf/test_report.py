@@ -1,0 +1,148 @@
+"""BENCH_*.json schema stability, round-trips and the comparator."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BenchReport,
+    CaseResult,
+    compare_reports,
+)
+
+CASE_KEY_ORDER = [
+    "name",
+    "tags",
+    "repeats",
+    "points",
+    "evals",
+    "wall_seconds",
+    "best_seconds",
+    "mean_seconds",
+    "evals_per_sec",
+    "cache",
+    "notes",
+]
+REPORT_KEY_ORDER = ["schema_version", "label", "environment", "cases"]
+
+
+def _case(name, evals_per_sec, **overrides):
+    fields = dict(
+        name=name,
+        tags=("quick",),
+        repeats=3,
+        points=4,
+        evals=4,
+        wall_seconds=0.5,
+        best_seconds=0.15,
+        mean_seconds=0.1667,
+        evals_per_sec=evals_per_sec,
+        cache={"hits": 0, "misses": 4, "hit_rate": 0.0},
+    )
+    fields.update(overrides)
+    return CaseResult(**fields)
+
+
+def _report(label="test", cases=()):
+    return BenchReport(label=label, cases=list(cases))
+
+
+# ----------------------------------------------------------------------
+# Schema / ordering determinism
+# ----------------------------------------------------------------------
+def test_bench_json_field_ordering_is_deterministic():
+    report = _report(cases=[_case("a", 10.0), _case("b", 20.0)])
+    text = report.to_json()
+    parsed = json.loads(text)
+    assert list(parsed) == REPORT_KEY_ORDER
+    for case in parsed["cases"]:
+        assert list(case) == CASE_KEY_ORDER
+    # Serializing twice yields byte-identical output.
+    assert report.to_json() == text
+
+
+def test_bench_json_round_trip(tmp_path):
+    report = _report(cases=[_case("a", 10.0)])
+    path = tmp_path / report.filename()
+    report.to_json(path)
+    loaded = BenchReport.from_json(path)
+    assert loaded.to_dict() == report.to_dict()
+    from_text = BenchReport.from_json(report.to_json())
+    assert from_text.to_dict() == report.to_dict()
+
+
+def test_bench_write_names_file_after_label(tmp_path):
+    report = _report(label="ci")
+    path = report.write(tmp_path)
+    assert path.name == "BENCH_ci.json"
+    assert path.exists()
+
+
+def test_case_lookup_raises_for_unknown():
+    report = _report(cases=[_case("a", 10.0)])
+    assert report.case("a").evals_per_sec == 10.0
+    with pytest.raises(KeyError):
+        report.case("nope")
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+def test_compare_flags_regressions_beyond_threshold():
+    baseline = _report("base", [_case("a", 100.0), _case("b", 100.0)])
+    current = _report("now", [_case("a", 45.0), _case("b", 95.0)])
+    outcome = compare_reports(current, baseline, threshold=2.0)
+    assert not outcome.ok
+    assert [entry.name for entry in outcome.regressions] == ["a"]
+    by_name = {entry.name: entry for entry in outcome.comparisons}
+    assert by_name["a"].slowdown == pytest.approx(100.0 / 45.0)
+    assert not by_name["b"].regressed
+
+
+def test_compare_accepts_speedups_and_equal():
+    baseline = _report("base", [_case("a", 100.0)])
+    current = _report("now", [_case("a", 300.0)])
+    outcome = compare_reports(current, baseline, threshold=2.0)
+    assert outcome.ok
+    assert outcome.comparisons[0].slowdown == pytest.approx(1.0 / 3.0)
+
+
+def test_compare_skips_unshared_cases():
+    baseline = _report("base", [_case("a", 100.0), _case("only_base", 5.0)])
+    current = _report("now", [_case("a", 90.0), _case("only_current", 5.0)])
+    outcome = compare_reports(current, baseline, threshold=2.0)
+    assert outcome.ok
+    assert outcome.missing_in_baseline == ["only_current"]
+    assert outcome.missing_in_current == ["only_base"]
+    assert [entry.name for entry in outcome.comparisons] == ["a"]
+
+
+def test_compare_zero_throughput_edges():
+    baseline = _report("base", [_case("a", 0.0), _case("b", 10.0)])
+    current = _report("now", [_case("a", 5.0), _case("b", 0.0)])
+    outcome = compare_reports(current, baseline, threshold=2.0)
+    by_name = {entry.name: entry for entry in outcome.comparisons}
+    assert not by_name["a"].regressed  # no baseline: nothing to regress
+    assert by_name["b"].regressed  # collapsed to zero: always regressed
+
+
+def test_compare_with_no_shared_cases_is_not_ok():
+    baseline = _report("base", [_case("old_name", 10.0)])
+    current = _report("now", [_case("new_name", 10.0)])
+    outcome = compare_reports(current, baseline, threshold=2.0)
+    assert not outcome.ok
+    assert "no shared cases" in outcome.describe()
+
+
+def test_compare_rejects_bad_threshold():
+    with pytest.raises(ValueError):
+        compare_reports(_report(), _report(), threshold=0.0)
+
+
+def test_comparison_describe_mentions_verdicts():
+    baseline = _report("base", [_case("a", 100.0)])
+    current = _report("now", [_case("a", 10.0)])
+    outcome = compare_reports(current, baseline, threshold=2.0)
+    text = outcome.describe()
+    assert "REGRESSED" in text
+    assert "1 case(s) regressed" in text
