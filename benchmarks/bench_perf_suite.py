@@ -40,8 +40,9 @@ def test_perf_suite_quick(benchmark):
         assert case.cache.get("misses") == 0
 
     # ... and the run diffs cleanly against the committed baseline
-    # (informational here: thresholds are the CI gate's job).
+    # (informational here: thresholds are the CI gate's job; tag=
+    # narrows the full-suite baseline to the quick subset timed above).
     baseline = BenchReport.from_json(BASELINE)
-    outcome = compare_reports(report, baseline, threshold=2.0)
+    outcome = compare_reports(report, baseline, threshold=2.0, tag="quick")
     print()
     print(outcome.describe())

@@ -45,20 +45,22 @@ print(f"design space: {len(space)} points")
 start = time.time()
 # on_error="skip" drops infeasible corners (e.g. more on-chip memories
 # than the placement policy leaves groups) instead of aborting the sweep.
-explorer = Explorer(space, workers=4, on_error="skip")
-result = explorer.run(ExhaustiveSweep())
-first = time.time() - start
-print(f"parallel sweep: {len(result.records)} evaluations in {first:.1f}s")
-for point, error in explorer.failures:
-    print(f"  skipped infeasible point {point.display_label!r}: {error}")
+# The context manager releases the explorer's persistent worker pool
+# (it is forked once and reused by every batch inside the block).
+with Explorer(space, workers=4, on_error="skip") as explorer:
+    result = explorer.run(ExhaustiveSweep())
+    first = time.time() - start
+    print(f"parallel sweep: {len(result.records)} evaluations in {first:.1f}s")
+    for point, error in explorer.failures:
+        print(f"  skipped infeasible point {point.display_label!r}: {error}")
 
-start = time.time()
-rerun = explorer.run(ExhaustiveSweep())
-second = time.time() - start
-print(
-    f"memoized rerun: {rerun.cache_hit_count()}/{len(rerun.records)} cache hits"
-    f" in {second:.2f}s   [{explorer.cache.stats()}]"
-)
+    start = time.time()
+    rerun = explorer.run(ExhaustiveSweep())
+    second = time.time() - start
+    print(
+        f"memoized rerun: {rerun.cache_hit_count()}/{len(rerun.records)} cache hits"
+        f" in {second:.2f}s   [{explorer.cache.stats()}]"
+    )
 
 # Serialize, reload, and decide from the archived result.
 archived = ExplorationResult.from_json(result.to_json())

@@ -45,6 +45,10 @@ from .explore.engine import (
     ExplorationRecord,
     ExplorationResult,
     Explorer,
+)
+from .explore.fingerprint import (
+    canonical_json,
+    fingerprint_from_parts,
     fingerprint_request,
 )
 from .explore.pareto import dominates, knee_point, pareto_front
@@ -91,8 +95,10 @@ __all__ = [
     "SearchStrategy",
     "Transform",
     "analyze_macp",
+    "canonical_json",
     "default_library",
     "dominates",
+    "fingerprint_from_parts",
     "fingerprint_request",
     "get_app",
     "knee_point",

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
-
 
 class BitWriter:
     """Accumulates bits most-significant-first into a byte stream."""

@@ -9,7 +9,7 @@ picks one of the six adaptive Huffman coders (paper §3).
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from .pyramid import TYPE_D, TYPE_H, TYPE_V
 

@@ -8,8 +8,8 @@ designer can see *where* the cost comes from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Sequence, Tuple
 
 from ..memlib.module import MemoryKind
 

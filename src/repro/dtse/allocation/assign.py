@@ -24,14 +24,13 @@ outside the allocation count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ...costs.report import CostReport, MemoryCost
 from ...ir.program import AccessCounts, Program
 from ...memlib.library import MemoryLibrary
 from ...memlib.module import MemoryKind
-from ...memlib.tables import DramPart
 from ..scbd.conflict import ConflictGraph
 
 #: Exchange rate between on-chip area and power in the scalar objective

@@ -15,7 +15,7 @@ builds the paper's four alternatives:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..ir.arrays import BasicGroup
 from ..ir.loops import Access, LoopNest

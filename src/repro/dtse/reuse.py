@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..ir.loops import LoopNest
 from ..ir.program import Program
 from ..ir.types import READ
 

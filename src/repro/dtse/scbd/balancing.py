@@ -15,7 +15,7 @@ cycles until a fixpoint.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ...ir.loops import are_exclusive

@@ -14,7 +14,7 @@ global cycle spent, until the budget is exhausted or no body improves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ...ir.program import Program

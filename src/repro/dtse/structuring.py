@@ -17,10 +17,9 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
-from ..ir.arrays import BasicGroup
 from ..ir.loops import Access, LoopNest, Statement
 from ..ir.program import Program
-from ..ir.types import READ, WRITE, AccessKind, TransformError
+from ..ir.types import READ, AccessKind
 
 
 def _rewrite_nest(

@@ -25,7 +25,11 @@ from .engine import (
     ExplorationRecord,
     ExplorationResult,
     Explorer,
+)
+from .fingerprint import (
+    canonical_json,
     canonical_value,
+    fingerprint_from_parts,
     fingerprint_request,
 )
 from .pareto import dominates, knee_point, pareto_front
@@ -74,8 +78,10 @@ __all__ = [
     "ProgramVariant",
     "SearchStrategy",
     "StepOutcome",
+    "canonical_json",
     "canonical_value",
     "dominates",
+    "fingerprint_from_parts",
     "fingerprint_request",
     "knee_point",
     "pareto_front",

@@ -30,9 +30,9 @@ its cost feedback (Fig. 1), the structuring transforms' concrete effect
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..apps.btpc import BtpcConstraints, BtpcProfile, build_btpc_program, profile_btpc
+from ..apps.btpc import BtpcConstraints, BtpcProfile, profile_btpc
 from ..apps.btpc.app import (  # noqa: F401 - re-exported for compatibility
     CHOSEN_BUDGET_FRACTION,
     HIERARCHY_VARIANTS,
@@ -275,10 +275,10 @@ class BtpcStudy:
             describe_stencil(pattern, row_length),
             "",
             "  Layer 2          Layer 1            Layer 0        Data-paths",
-            f"  image         -> yhier           -> ylocal      -> predict",
+            "  image         -> yhier           -> ylocal      -> predict",
             f"  {image.words:,} x8     {buffer_words:,} x8 (2-port)"
             f"   {window} registers",
-            f"  off-chip DRAM    on-chip SRAM       foreground",
+            "  off-chip DRAM    on-chip SRAM       foreground",
             "",
             f"  feed rates: image->yhier {pattern.rowbuffer_feed_per_iteration():.2f}"
             f" w/iter, yhier->ylocal {pattern.window_feed_per_iteration():.2f} w/iter,"

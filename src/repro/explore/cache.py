@@ -16,6 +16,13 @@ Both implement the :class:`CacheBackend` protocol and expose a
 corrupt reads) that the :mod:`repro.perf` harness surfaces into its
 ``BENCH_*.json`` reports.
 
+Backends may additionally provide **bulk hooks** — ``lookup_many`` and
+``store_many`` — which the engine uses to probe or fill a whole sweep
+batch in one call.  The built-in backends implement both (the
+:class:`DiskCache` version refreshes its directory index once per
+batch instead of stat-ing the filesystem per point); backends without
+them fall back to per-key ``get``/``put`` transparently.
+
 Backends store plain JSON payloads (``dict``\\ s), not domain objects;
 the :class:`~repro.explore.engine.EvaluationCache` facade converts
 :class:`~repro.costs.report.CostReport`\\ s at the boundary so every
@@ -37,6 +44,7 @@ from typing import (
     Mapping,
     Optional,
     Protocol,
+    Sequence,
     Tuple,
     Union,
     runtime_checkable,
@@ -92,6 +100,13 @@ class CacheBackend(Protocol):
     Payloads must be JSON-serializable mappings; keys are hex content
     fingerprints.  Implementations keep a :class:`CacheStats` and may
     bound their size via ``max_entries`` (LRU order).
+
+    Backends may optionally implement the bulk hooks ``lookup_many(keys)
+    -> Dict[key, payload]`` (present keys only, stats counted exactly as
+    per-key ``get`` calls would) and ``store_many(payloads)``.  They are
+    deliberately not protocol members: a minimal backend stays valid and
+    the engine falls back to per-key ``get``/``put`` when they are
+    absent.
     """
 
     stats: CacheStats
@@ -144,6 +159,24 @@ class MemoryCache:
         while self.max_entries is not None and len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+
+    def lookup_many(self, keys: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+        """Bulk :meth:`get`: payloads of the present keys, stats included.
+
+        Duplicate keys are probed once; recency refreshes exactly as the
+        equivalent sequence of ``get`` calls would.
+        """
+        found: Dict[str, Dict[str, Any]] = {}
+        for key in dict.fromkeys(keys):
+            payload = self.get(key)
+            if payload is not None:
+                found[key] = payload
+        return found
+
+    def store_many(self, payloads: Mapping[str, Mapping[str, Any]]) -> None:
+        """Bulk :meth:`put` (insertion order = recency order)."""
+        for key, payload in payloads.items():
+            self.put(key, payload)
 
     def keys(self) -> Tuple[str, ...]:
         """Current keys, least-recently-used first."""
@@ -221,6 +254,10 @@ class DiskCache:
         if payload is not None:
             self.stats.hits += 1
             return payload
+        return self._load(key)
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        """Read one shard file, counting hit/miss/corrupt as it goes."""
         path = self._file(key)
         try:
             text = path.read_text(encoding="utf-8")
@@ -229,6 +266,7 @@ class DiskCache:
                 raise ValueError("cache entry is not a JSON object")
         except FileNotFoundError:
             self.stats.misses += 1
+            self._known.pop(key, None)
             return None
         except (OSError, ValueError, UnicodeDecodeError):
             self.stats.corrupt += 1
@@ -239,6 +277,46 @@ class DiskCache:
         self._known.setdefault(key, None)
         self.stats.hits += 1
         return payload
+
+    def _refresh_known(self) -> None:
+        """One directory pass picking up shards written by siblings."""
+        for path in sorted(self.root.glob("*/*.json"), key=lambda p: p.name):
+            self._known.setdefault(path.stem, None)
+
+    def lookup_many(self, keys: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+        """Bulk :meth:`get` over a batch of keys in one pass.
+
+        Mirror hits cost a dictionary probe; keys absent from the
+        directory index cost nothing on disk — the index is refreshed
+        with a *single* directory scan per batch (instead of a file
+        stat per point), which is what keeps a warm re-sweep's probe
+        phase flat as spaces grow.  Only files indexed as present are
+        read; corrupt shards are tolerated exactly as in :meth:`get`.
+        """
+        unique = dict.fromkeys(keys)
+        if any(
+            key not in self._mirror and key not in self._known for key in unique
+        ):
+            self._refresh_known()
+        found: Dict[str, Dict[str, Any]] = {}
+        for key in unique:
+            payload = self._mirror.get(key)
+            if payload is not None:
+                self.stats.hits += 1
+                found[key] = payload
+                continue
+            if key not in self._known:
+                self.stats.misses += 1
+                continue
+            payload = self._load(key)
+            if payload is not None:
+                found[key] = payload
+        return found
+
+    def store_many(self, payloads: Mapping[str, Mapping[str, Any]]) -> None:
+        """Bulk :meth:`put` (insertion order = recency order)."""
+        for key, payload in payloads.items():
+            self.put(key, payload)
 
     def put(self, key: str, payload: Mapping[str, Any]) -> None:
         shard = self._shard(key)

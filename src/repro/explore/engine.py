@@ -8,10 +8,17 @@ oracle, with two performance layers the ad-hoc drivers never had:
   fingerprinted over (program structure, cycle budget, knobs, library);
   a repeated point costs a dictionary lookup.  The fingerprint excludes
   the presentation label, so the same organization evaluated under two
-  names is still one oracle run.
+  names is still one oracle run.  Fingerprints are built
+  *incrementally* (:mod:`repro.explore.fingerprint`): the canonical
+  program/library fragments are computed once per sweep and only the
+  per-point knob digest is paid per design point.
 * **process-parallel batches** — ``workers=N`` fans cache misses out
-  over a :class:`concurrent.futures.ProcessPoolExecutor`; results come
-  back in deterministic point order regardless of completion order.
+  over a **persistent** :class:`concurrent.futures.ProcessPoolExecutor`
+  owned by the explorer (created lazily, reused across batches and
+  strategy steps, released by :meth:`Explorer.close` or the context
+  manager); results come back in deterministic point order regardless
+  of completion order.  Batches smaller than ``min_parallel_batch``
+  fall back to the serial path so tiny sweeps never pay fork cost.
 
 Search strategies (:mod:`repro.explore.strategies`) sit on top and only
 ever talk to the explorer, so caching and parallelism apply to every
@@ -21,11 +28,11 @@ strategy uniformly.
 from __future__ import annotations
 
 import dataclasses
-import enum
-import hashlib
 import json
+import math
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -45,64 +52,25 @@ from ..dtse.pipeline import PmmRequest, PmmResult
 from ..ir.program import Program
 from ..memlib.library import MemoryLibrary, default_library
 from .cache import CacheBackend, DiskCache, resolve_backend
+from .fingerprint import (
+    canonical_json,
+    canonical_value,
+    fingerprint_from_parts,
+    fingerprint_request,
+)
 from .pareto import dominates, knee_point, pareto_front
 from .space import DesignPoint, DesignSpace
 
-# ----------------------------------------------------------------------
-# Stable fingerprints
-# ----------------------------------------------------------------------
-def canonical_value(value: Any) -> Any:
-    """Reduce a value to JSON-stable primitives for fingerprinting.
-
-    Dataclasses flatten to (type name, field values); enums to their
-    qualified name; floats go through ``float()`` so numpy scalars and
-    Python floats fingerprint identically.
-    """
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        encoded = {
-            f.name: canonical_value(getattr(value, f.name))
-            for f in dataclasses.fields(value)
-        }
-        encoded["__type__"] = type(value).__name__
-        return encoded
-    if isinstance(value, enum.Enum):
-        return f"{type(value).__name__}.{value.name}"
-    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
-        return value
-    if isinstance(value, float):
-        return float(value)
-    if isinstance(value, (tuple, list)):
-        return [canonical_value(item) for item in value]
-    if isinstance(value, (set, frozenset)):
-        return sorted(canonical_value(item) for item in value)
-    if isinstance(value, Mapping):
-        return {str(key): canonical_value(value[key]) for key in sorted(value)}
-    try:  # numpy scalars and other float-like leaves
-        return float(value)
-    except (TypeError, ValueError):
-        pass
-    if hasattr(value, "__dict__"):  # plain-state objects (e.g. generators)
-        encoded = {
-            key: canonical_value(item) for key, item in sorted(vars(value).items())
-        }
-        encoded["__type__"] = type(value).__name__
-        return encoded
-    return repr(value)
-
-
-def fingerprint_request(request: PmmRequest) -> str:
-    """Content address of one evaluation (label excluded: cosmetic)."""
-    payload = {
-        "program": canonical_value(request.program),
-        "cycle_budget": float(request.cycle_budget),
-        "frame_time_s": float(request.frame_time_s),
-        "library": canonical_value(request.library),
-        "n_onchip": request.n_onchip,
-        "area_weight": float(request.area_weight),
-        "seed": request.seed,
-    }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+__all__ = [
+    "EvaluationCache",
+    "ExplorationError",
+    "ExplorationRecord",
+    "ExplorationResult",
+    "Explorer",
+    "canonical_value",
+    "fingerprint_from_parts",
+    "fingerprint_request",
+]
 
 
 # ----------------------------------------------------------------------
@@ -163,6 +131,49 @@ class EvaluationCache:
         if self.FAILURE_KEY in payload:
             return None, str(payload[self.FAILURE_KEY])
         return CostReport.from_dict(payload), None
+
+    def lookup_many(
+        self, fingerprints: Sequence[str]
+    ) -> Dict[str, Tuple[Optional[CostReport], Optional[str]]]:
+        """One bulk backend probe for a whole batch of fingerprints.
+
+        Returns ``{fingerprint: (report, error)}`` for the fingerprints
+        the backend holds; absent fingerprints are simply missing from
+        the mapping.  Uses the backend's ``lookup_many`` bulk hook when
+        it has one (the :class:`~repro.explore.cache.DiskCache` version
+        probes a warm sweep in one directory pass) and falls back to
+        per-key :meth:`~repro.explore.cache.CacheBackend.get` calls
+        otherwise.
+        """
+        bulk = getattr(self.backend, "lookup_many", None)
+        if bulk is not None:
+            payloads = bulk(list(fingerprints))
+        else:
+            payloads = {}
+            for fingerprint in dict.fromkeys(fingerprints):
+                payload = self.backend.get(fingerprint)
+                if payload is not None:
+                    payloads[fingerprint] = payload
+        resolved: Dict[str, Tuple[Optional[CostReport], Optional[str]]] = {}
+        for fingerprint, payload in payloads.items():
+            if self.FAILURE_KEY in payload:
+                resolved[fingerprint] = (None, str(payload[self.FAILURE_KEY]))
+            else:
+                resolved[fingerprint] = (CostReport.from_dict(payload), None)
+        return resolved
+
+    def store_many(self, reports: Mapping[str, CostReport]) -> None:
+        """Bulk report store, via the backend's ``store_many`` if any."""
+        payloads = {
+            fingerprint: report.to_dict()
+            for fingerprint, report in reports.items()
+        }
+        bulk = getattr(self.backend, "store_many", None)
+        if bulk is not None:
+            bulk(payloads)
+        else:
+            for fingerprint, payload in payloads.items():
+                self.backend.put(fingerprint, payload)
 
     def get_report(self, fingerprint: str) -> Optional[CostReport]:
         return self.lookup(fingerprint)[0]
@@ -363,6 +374,14 @@ class Explorer:
     workers:
         Process-parallelism for batch evaluation.  1 (the default) stays
         in-process and also caches full :class:`PmmResult` objects.
+        With ``workers=N`` the explorer owns a lazily-created,
+        **persistent** process pool, reused across :meth:`evaluate_many`
+        calls and strategy steps; release it with :meth:`close` or by
+        using the explorer as a context manager.
+    min_parallel_batch:
+        Miss batches smaller than this run serially even when
+        ``workers > 1`` — tiny sweeps never pay pool spin-up.  Once the
+        pool exists, any batch of two or more misses uses it.
     cache:
         Shared :class:`EvaluationCache`, a bare
         :class:`~repro.explore.cache.CacheBackend`, or a directory path
@@ -376,11 +395,15 @@ class Explorer:
         the allocator cannot satisfy).
     """
 
+    #: Default serial-fallback threshold for parallel miss batches.
+    DEFAULT_MIN_PARALLEL_BATCH = 4
+
     def __init__(
         self,
         space: Optional[DesignSpace] = None,
         *,
         workers: int = 1,
+        min_parallel_batch: int = DEFAULT_MIN_PARALLEL_BATCH,
         cache: Union[None, str, Path, CacheBackend, EvaluationCache] = None,
         area_weight: float = DEFAULT_AREA_WEIGHT,
         seed: int = 0,
@@ -388,10 +411,13 @@ class Explorer:
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if min_parallel_batch < 2:
+            raise ValueError("min_parallel_batch must be >= 2")
         if on_error not in ("raise", "skip"):
             raise ValueError("on_error must be 'raise' or 'skip'")
         self.space = space
         self.workers = workers
+        self.min_parallel_batch = min_parallel_batch
         if isinstance(cache, EvaluationCache):
             self.cache = cache
         else:
@@ -403,6 +429,46 @@ class Explorer:
         self.failures: List[Tuple[DesignPoint, str]] = []
         self._seconds: Dict[str, float] = {}
         self._errors: Dict[str, str] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        # Ad-hoc fingerprint memo for the spaceless evaluate_program
+        # path, keyed by object identity (the stored reference keeps
+        # the id valid for as long as the entry lives).  LRU-bounded:
+        # sessions that build a fresh program per step must not pin
+        # every program (and its canonical JSON) forever.
+        self._adhoc_json: Dict[int, Tuple[Any, str]] = {}
+        self._default_library: Optional[MemoryLibrary] = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent).
+
+        The explorer stays usable afterwards — the next parallel batch
+        simply spins up a fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Explorer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        pool = getattr(self, "_pool", None)
+        if pool is not None:  # best effort: never block finalization
+            try:
+                pool.shutdown(wait=False)
+            except Exception:  # noqa: BLE001 - interpreter may be tearing down
+                pass
 
     @classmethod
     def for_app(cls, name: str, constraints: Optional[Any] = None, **kwargs) -> "Explorer":
@@ -433,6 +499,49 @@ class Explorer:
         )
 
     # ------------------------------------------------------------------
+    # Fingerprints (incremental hot path)
+    # ------------------------------------------------------------------
+    def fingerprint_point(self, point: DesignPoint, request: PmmRequest) -> str:
+        """The point's content address via memoized invariant fragments.
+
+        Byte-identical to ``fingerprint_request(request)`` — the
+        canonical program/library JSON is simply cached on the design
+        space instead of recomputed per point, so a warm sweep pays
+        only the per-point knob digest.
+        """
+        if self.space is None:
+            return fingerprint_request(request)
+        return fingerprint_from_parts(
+            self.space.fingerprint_program_json(point.variant),
+            self.space.fingerprint_library_json(point.library),
+            cycle_budget=request.cycle_budget,
+            frame_time_s=request.frame_time_s,
+            n_onchip=request.n_onchip,
+            area_weight=request.area_weight,
+            seed=request.seed,
+        )
+
+    #: Entry bound for the ad-hoc fingerprint memo.  Evicted entries
+    #: drop their object reference, so a recycled id can never match a
+    #: stale entry (live entries keep their object alive).
+    ADHOC_MEMO_ENTRIES = 64
+
+    def _adhoc_fragment(self, value: Any) -> str:
+        """Identity-memoized canonical JSON for spaceless evaluations."""
+        key = id(value)
+        entry = self._adhoc_json.get(key)
+        if entry is not None and entry[0] is value:
+            # Refresh recency (dict order is the eviction order).
+            self._adhoc_json.pop(key)
+            self._adhoc_json[key] = entry
+            return entry[1]
+        entry = (value, canonical_json(value))
+        self._adhoc_json[key] = entry
+        while len(self._adhoc_json) > self.ADHOC_MEMO_ENTRIES:
+            self._adhoc_json.pop(next(iter(self._adhoc_json)))
+        return entry[1]
+
+    # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
     def evaluate(self, point: DesignPoint, step: str = "") -> ExplorationRecord:
@@ -446,22 +555,34 @@ class Explorer:
 
         Records come back in the order of ``points`` whatever the
         completion order, so parallel runs are bit-identical to serial
-        ones.  Duplicate points within the batch are evaluated once.
+        ones.  Duplicate points within the batch are evaluated once:
+        only the first occurrence of a fingerprint counts as the miss
+        (and carries the oracle seconds); the rest are cache hits.
         """
         requests = [self.request_for(point) for point in points]
-        fingerprints = [fingerprint_request(request) for request in requests]
+        fingerprints = [
+            self.fingerprint_point(point, request)
+            for point, request in zip(points, requests)
+        ]
         # Reports are pinned batch-locally as soon as they are resolved:
         # a bounded backend may evict any entry between the cache probe
         # and record assembly, and correctness must not depend on
         # retention.
         known: Dict[str, CostReport] = {}
         fresh: Dict[str, PmmRequest] = {}
+        pending: Dict[str, PmmRequest] = {}
         for fingerprint, request in zip(fingerprints, requests):
-            if fingerprint in fresh or fingerprint in known:
-                continue
-            report, error = self.cache.lookup(fingerprint)
+            pending.setdefault(fingerprint, request)
+        probed = self.cache.lookup_many(tuple(pending))
+        for fingerprint, request in pending.items():
+            report, error = probed.get(fingerprint, (None, None))
             if report is not None:
                 known[fingerprint] = report
+                # Evaluation-level hits count backend resolutions, once
+                # per unique fingerprint — in-batch duplicates and
+                # in-batch computations never touch the backend, so
+                # these counters reconcile with the backend's own.
+                self.cache.hits += 1
                 continue
             if error is None:
                 error = self._errors.get(fingerprint)
@@ -474,10 +595,11 @@ class Explorer:
                 raise ExplorationError(
                     f"evaluation of {request.label!r} failed: {error}"
                 )
-        known.update(self._evaluate_misses(fresh))
+        computed = self._evaluate_misses(fresh)
+        known.update(computed)
         records = []
+        charged: set = set()  # computed fingerprints already attributed
         for point, request, fingerprint in zip(points, requests, fingerprints):
-            hit = fingerprint not in fresh
             report = known.get(fingerprint)
             if report is None:  # failed and on_error == "skip"
                 failure = (point, self._known_error(fingerprint) or "unknown")
@@ -486,20 +608,32 @@ class Explorer:
                 continue
             if report.label != request.label:
                 report = dataclasses.replace(report, label=request.label)
-            if hit:
-                self.cache.hits += 1
+            # Only the first occurrence of a freshly computed
+            # fingerprint is the miss; duplicates resolved from the
+            # batch-local pin are hits and never re-attribute the
+            # oracle seconds.
+            miss = fingerprint in computed and fingerprint not in charged
+            if miss:
+                charged.add(fingerprint)
             record = ExplorationRecord(
                 point=point,
                 report=report,
                 fingerprint=fingerprint,
-                seconds=0.0 if hit else self._seconds.get(fingerprint, 0.0),
-                cache_hit=hit,
+                seconds=self._seconds.get(fingerprint, 0.0) if miss else 0.0,
+                cache_hit=not miss,
                 step=step,
                 program_name=request.program.name,
             )
             records.append(record)
         self.records.extend(records)
         return records
+
+    def _use_pool(self, batch_size: int) -> bool:
+        if self.workers <= 1 or batch_size < 2:
+            return False
+        # A warm pool costs nothing to reuse; a cold one is only worth
+        # spinning up for batches that amortize the fork cost.
+        return self._pool is not None or batch_size >= self.min_parallel_batch
 
     def _evaluate_misses(
         self, fresh: Dict[str, PmmRequest]
@@ -514,20 +648,39 @@ class Explorer:
             return computed
         self.cache.misses += len(fresh)
         items = list(fresh.items())
-        if self.workers > 1 and len(items) > 1:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                outcomes = pool.map(
-                    _evaluate_request, [request for _, request in items]
+        if self._use_pool(len(items)):
+            pool = self._ensure_pool()
+            # Chunk so each worker gets a handful of round trips, not
+            # one IPC exchange per point.
+            chunksize = max(1, math.ceil(len(items) / (self.workers * 4)))
+            try:
+                outcomes = list(
+                    pool.map(
+                        _evaluate_request,
+                        [request for _, request in items],
+                        chunksize=chunksize,
+                    )
                 )
-                for (fingerprint, request), (report, seconds, error) in zip(
-                    items, outcomes
-                ):
-                    if error is not None:
-                        self._record_failure(fingerprint, request, error)
-                        continue
-                    self.cache.store(fingerprint, report)
-                    computed[fingerprint] = report
-                    self._seconds[fingerprint] = seconds
+            except BrokenProcessPool:
+                self.close()  # the pool is unusable; drop it
+                raise
+            failures: List[Tuple[str, PmmRequest, str]] = []
+            stored: Dict[str, CostReport] = {}
+            for (fingerprint, request), (report, seconds, error) in zip(
+                items, outcomes
+            ):
+                if error is not None:
+                    failures.append((fingerprint, request, error))
+                    continue
+                stored[fingerprint] = report
+                computed[fingerprint] = report
+                self._seconds[fingerprint] = seconds
+            # Successes persist before any failure can raise, and in
+            # one bulk store.
+            if stored:
+                self.cache.store_many(stored)
+            for fingerprint, request, error in failures:
+                self._record_failure(fingerprint, request, error)
         else:
             for fingerprint, request in items:
                 start = time.perf_counter()
@@ -579,17 +732,32 @@ class Explorer:
         object was not retained (parallel or persisted entries keep only
         the report), the oracle re-runs — deterministically identical.
         """
+        if library is None:
+            # One shared default-library instance per explorer keeps the
+            # identity-keyed fragment memo effective (and bounded) for
+            # sessions that evaluate with the implicit library.
+            if self._default_library is None:
+                self._default_library = default_library()
+            library = self._default_library
         request = PmmRequest(
             program=program,
             cycle_budget=cycle_budget,
             frame_time_s=frame_time_s,
-            library=library if library is not None else default_library(),
+            library=library,
             n_onchip=n_onchip,
             area_weight=self.area_weight,
             label=label,
             seed=self.seed,
         )
-        fingerprint = fingerprint_request(request)
+        fingerprint = fingerprint_from_parts(
+            self._adhoc_fragment(request.program),
+            self._adhoc_fragment(request.library),
+            cycle_budget=request.cycle_budget,
+            frame_time_s=request.frame_time_s,
+            n_onchip=request.n_onchip,
+            area_weight=request.area_weight,
+            seed=request.seed,
+        )
         hit = self.cache.get_report(fingerprint) is not None
         result = self.cache.get_result(fingerprint)
         seconds = 0.0

@@ -1,0 +1,139 @@
+"""Content-addressed fingerprints for evaluation requests.
+
+Every oracle evaluation is addressed by a SHA-256 over a canonical JSON
+payload of (program structure, cycle budget, knobs, library).  The
+presentation label is excluded: the same organization evaluated under
+two names is still one oracle run.
+
+Two construction paths produce **byte-identical** fingerprints:
+
+* :func:`fingerprint_request` — the monolithic reference path: it
+  re-canonicalizes the entire request every call.  Simple, stateless,
+  and the ground truth the compatibility tests pin the incremental
+  path against.
+* :func:`fingerprint_from_parts` — the incremental hot path: the
+  expensive canonical-JSON fragments (program and library — everything
+  that is invariant across a sweep) are computed **once** per
+  ``(variant, library)`` pair and memoized on the
+  :class:`~repro.explore.space.DesignSpace` /
+  :class:`~repro.explore.engine.Explorer`; each design point then only
+  pays a tiny knob digest (budget, ``n_onchip``, ``area_weight``,
+  seed) plus one hash over the assembled blob.
+
+Because both paths hash the same serialized payload, existing
+:class:`~repro.explore.cache.DiskCache` directories and golden files
+stay valid across the switch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dtse.pipeline import PmmRequest
+
+
+def canonical_value(value: Any) -> Any:
+    """Reduce a value to JSON-stable primitives for fingerprinting.
+
+    Dataclasses flatten to (type name, field values); enums to their
+    qualified name; floats go through ``float()`` so numpy scalars and
+    Python floats fingerprint identically.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        encoded = {
+            f.name: canonical_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        encoded["__type__"] = type(value).__name__
+        return encoded
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, (tuple, list)):
+        return [canonical_value(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(canonical_value(item) for item in value)
+    if isinstance(value, Mapping):
+        return {str(key): canonical_value(value[key]) for key in sorted(value)}
+    try:  # numpy scalars and other float-like leaves
+        return float(value)
+    except (TypeError, ValueError):
+        pass
+    if hasattr(value, "__dict__"):  # plain-state objects (e.g. generators)
+        encoded = {
+            key: canonical_value(item) for key, item in sorted(vars(value).items())
+        }
+        encoded["__type__"] = type(value).__name__
+        return encoded
+    return repr(value)
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON text of a value, as embedded in fingerprints.
+
+    ``sort_keys`` + compact separators make this exactly the fragment
+    :func:`json.dumps` would emit for the value nested inside the full
+    request payload, so precomputed fragments splice into
+    :func:`fingerprint_from_parts` without changing a single byte.
+    """
+    return json.dumps(canonical_value(value), sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint_from_parts(
+    program_json: str,
+    library_json: str,
+    *,
+    cycle_budget: float,
+    frame_time_s: float,
+    n_onchip: Optional[int],
+    area_weight: float,
+    seed: int,
+) -> str:
+    """Assemble a fingerprint from precomputed invariant JSON fragments.
+
+    The payload keys are spliced in sorted order (``area_weight`` <
+    ``cycle_budget`` < ``frame_time_s`` < ``library`` < ``n_onchip`` <
+    ``program`` < ``seed``), matching what ``json.dumps(payload,
+    sort_keys=True)`` emits in :func:`fingerprint_request` — the two
+    paths hash byte-identical blobs.
+    """
+    dumps = json.dumps
+    blob = (
+        f'{{"area_weight":{dumps(float(area_weight))},'
+        f'"cycle_budget":{dumps(float(cycle_budget))},'
+        f'"frame_time_s":{dumps(float(frame_time_s))},'
+        f'"library":{library_json},'
+        f'"n_onchip":{dumps(n_onchip)},'
+        f'"program":{program_json},'
+        f'"seed":{dumps(seed)}}}'
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def fingerprint_request(request: "PmmRequest") -> str:
+    """Content address of one evaluation (label excluded: cosmetic).
+
+    The monolithic reference path: canonicalizes the whole request on
+    every call.  The sweep hot path uses :func:`fingerprint_from_parts`
+    with memoized program/library fragments instead; a compatibility
+    test keeps the two byte-identical.
+    """
+    payload = {
+        "program": canonical_value(request.program),
+        "cycle_budget": float(request.cycle_budget),
+        "frame_time_s": float(request.frame_time_s),
+        "library": canonical_value(request.library),
+        "n_onchip": request.n_onchip,
+        "area_weight": float(request.area_weight),
+        "seed": request.seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

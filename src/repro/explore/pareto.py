@@ -7,7 +7,7 @@ power): lower is better on both axes.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence
 
 from ..costs.report import CostReport
 

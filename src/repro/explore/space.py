@@ -37,6 +37,7 @@ from typing import (
 
 from ..ir.program import Program
 from ..memlib.library import MemoryLibrary, default_library
+from .fingerprint import canonical_json
 
 #: Name of the implicit library axis entry when none is declared.
 DEFAULT_LIBRARY = "default"
@@ -125,6 +126,15 @@ class DesignSpace:
         if not self.libraries:
             self.libraries = {DEFAULT_LIBRARY: default_library()}
         self._programs: Dict[str, Program] = {}
+        # Sweep-invariant canonical-JSON fragments, memoized per axis
+        # value: the fingerprint hot path splices these instead of
+        # re-canonicalizing the whole program for every design point.
+        # Entries carry the canonicalized object and are revalidated by
+        # identity, so replacing a library or program (through
+        # add_library or direct dict mutation) can never serve a stale
+        # fragment.
+        self._variant_fingerprint_json: Dict[str, Tuple[Program, str]] = {}
+        self._library_fingerprint_json: Dict[str, Tuple[MemoryLibrary, str]] = {}
 
     # ------------------------------------------------------------------
     # Registry lookup
@@ -193,6 +203,37 @@ class DesignSpace:
             return self.libraries[name]
         except KeyError:
             raise KeyError(f"space {self.name!r} has no library {name!r}") from None
+
+    def fingerprint_program_json(self, variant_name: str) -> str:
+        """The variant's canonical program JSON, computed at most once.
+
+        This is the sweep-invariant (and expensive) part of a design
+        point's fingerprint; the engine combines it with the per-point
+        knob digest via
+        :func:`~repro.explore.fingerprint.fingerprint_from_parts`.
+        The memo revalidates against the live program object, so it can
+        never drift from what :meth:`program` hands the oracle.
+        """
+        program = self.program(variant_name)
+        entry = self._variant_fingerprint_json.get(variant_name)
+        if entry is None or entry[0] is not program:
+            entry = (program, canonical_json(program))
+            self._variant_fingerprint_json[variant_name] = entry
+        return entry[1]
+
+    def fingerprint_library_json(self, name: str) -> str:
+        """The library's canonical JSON, computed at most once.
+
+        Revalidated against the live ``libraries[name]`` object: any
+        replacement — :meth:`add_library` or direct dict mutation —
+        invalidates the memoized fragment automatically.
+        """
+        library = self.library(name)
+        entry = self._library_fingerprint_json.get(name)
+        if entry is None or entry[0] is not library:
+            entry = (library, canonical_json(library))
+            self._library_fingerprint_json[name] = entry
+        return entry[1]
 
     def effective_budget(self, fraction: float) -> float:
         """The paper's budget scaling: partial budgets truncate to int."""

@@ -3,7 +3,9 @@
 Every strategy consumes an :class:`~repro.explore.engine.Explorer` and
 returns an :class:`~repro.explore.engine.ExplorationResult`; caching and
 parallelism live in the explorer, so strategies only decide *which*
-points to evaluate and in what order:
+points to evaluate and in what order.  A parallel explorer's worker
+pool persists across the many small batches a stepwise or refinement
+walk issues — step two reuses the processes step one forked:
 
 * :class:`ExhaustiveSweep` — the whole cartesian product (or a given
   subset), batch-evaluated.
@@ -225,8 +227,13 @@ class ParetoRefine(SearchStrategy):
                 [record.report for record in evaluated.values()]
             )
             front_ids = {id(report) for report in front_reports}
-            frontier = []
+            # Neighbour sets of adjacent front points overlap heavily;
+            # dedupe while building so each round's batch (and its
+            # fingerprint work) stays proportional to the front.
+            next_frontier: Dict[DesignPoint, None] = {}
             for point, record in evaluated.items():
                 if id(record.report) in front_ids:
-                    frontier.extend(space.neighbors(point))
+                    for neighbor in space.neighbors(point):
+                        next_frontier.setdefault(neighbor)
+            frontier = list(next_frontier)
         return result

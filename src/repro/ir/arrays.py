@@ -11,7 +11,7 @@ the *basic group structuring* step (paper §4.3) may compact a group
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from .types import IRError

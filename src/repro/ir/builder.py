@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .arrays import ArrayDecl, BasicGroup
-from .expr import AffineExpr, index_tuple
+from .expr import index_tuple
 from .loops import Access, LoopNest, Statement
 from .program import Program
 from .types import READ, WRITE, AccessKind, IRError

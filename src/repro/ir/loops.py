@@ -13,7 +13,7 @@ ordering produced by the storage-cycle-budget-distribution step.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, Iterator, Optional, Tuple
 
 from .expr import AffineExpr

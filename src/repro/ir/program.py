@@ -9,7 +9,7 @@ alive at once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 from .arrays import ArrayDecl, BasicGroup

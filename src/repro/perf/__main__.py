@@ -4,6 +4,7 @@ Subcommands::
 
     run      time a case selection, write BENCH_<label>.json
     compare  diff two reports on evals/sec; non-zero exit on regression
+             or on a baseline case missing from the current run
     list     show registered cases (optionally by tag)
 
 Typical flows::
@@ -11,10 +12,13 @@ Typical flows::
     # Local: full suite, written next to the repo root.
     PYTHONPATH=src python -m repro.perf run --label local
 
-    # CI gate: quick subset against the committed baseline.
+    # CI gate: quick subset against the committed baseline.  --tag
+    # narrows both sides, so a dropped quick case fails the gate
+    # instead of silently passing.
     PYTHONPATH=src python -m repro.perf run --label ci --tag quick
     PYTHONPATH=src python -m repro.perf compare BENCH_ci.json \
-        benchmarks/baselines/perf_baseline.json --threshold 2.0
+        benchmarks/baselines/perf_baseline.json --threshold 2.0 \
+        --tag quick --summary "$GITHUB_STEP_SUMMARY"
 
     # Refresh the committed baseline after an intentional perf change.
     PYTHONPATH=src python -m repro.perf run --label baseline \
@@ -75,7 +79,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     compare = commands.add_parser(
-        "compare", help="diff a report against a baseline; exit 1 on regression"
+        "compare",
+        help="diff a report against a baseline; exit 1 on regression "
+        "or on a baseline case missing from the run",
     )
     compare.add_argument("current", help="BENCH_*.json of the run under test")
     compare.add_argument("baseline", help="baseline BENCH_*.json to diff against")
@@ -84,6 +90,17 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=2.0,
         help="max tolerated slowdown factor in evals/sec (default: %(default)s)",
+    )
+    compare.add_argument(
+        "--tag",
+        help="narrow BOTH reports to cases carrying this tag before "
+        "comparing (a subset run vs. a full-suite baseline)",
+    )
+    compare.add_argument(
+        "--summary",
+        metavar="FILE",
+        help="append a markdown summary table to FILE "
+        "(CI: pass \"$GITHUB_STEP_SUMMARY\")",
     )
 
     listing = commands.add_parser("list", help="show registered perf cases")
@@ -113,8 +130,13 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     current = BenchReport.from_json(args.current)
     baseline = BenchReport.from_json(args.baseline)
-    outcome = compare_reports(current, baseline, threshold=args.threshold)
+    outcome = compare_reports(
+        current, baseline, threshold=args.threshold, tag=args.tag
+    )
     print(outcome.describe())
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(outcome.to_markdown())
     return 0 if outcome.ok else 1
 
 

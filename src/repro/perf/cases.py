@@ -15,7 +15,9 @@ Four scenario families per fast workload (registered on import, tagged
   explorer instances over the same directory: the cross-process /
   cross-run warm path.  Zero oracle re-evaluations by construction.
 
-``sweep_parallel_cavity`` exercises the ``workers=N`` process pool and
+``sweep_parallel_cavity`` exercises the ``workers=N`` process pool from
+cold (pool spin-up included), ``sweep_parallel_warm_pool_cavity``
+measures a batch through an already-warm persistent pool, and
 ``oracle_single_btpc`` tracks the paper demonstrator's heavyweight
 oracle (tagged ``full`` — too slow for the CI quick subset).
 """
@@ -106,23 +108,61 @@ def _resweep_memoized(app: str) -> PerfCase:
 
 
 # ----------------------------------------------------------------------
-# Parallel batch
+# Parallel batches
 # ----------------------------------------------------------------------
 def _sweep_parallel_cavity() -> PerfCase:
     def run(_: Any) -> CaseRun:
-        explorer = Explorer.for_app("cavity", workers=2, on_error="skip")
-        explorer.run(ExhaustiveSweep())
-        return CaseRun(
-            evals=_evals(explorer),
-            points=len(explorer.space),
-            cache=explorer.cache.stats_dict(),
-        )
+        # Context manager: the persistent pool is released with the
+        # explorer; the measurement includes one cold pool spin-up.
+        with Explorer.for_app("cavity", workers=2, on_error="skip") as explorer:
+            explorer.run(ExhaustiveSweep())
+            return CaseRun(
+                evals=_evals(explorer),
+                points=len(explorer.space),
+                cache=explorer.cache.stats_dict(),
+            )
 
     return PerfCase(
         name="sweep_parallel_cavity",
         run=run,
         tags=("parallel", "sweep"),
-        description="cavity cold sweep fanned over a 2-process pool",
+        description="cavity cold sweep fanned over a 2-process pool "
+        "(includes pool spin-up)",
+    )
+
+
+def _sweep_parallel_warm_pool_cavity() -> PerfCase:
+    def setup() -> Explorer:
+        explorer = Explorer.for_app(
+            "cavity", workers=2, min_parallel_batch=2, on_error="skip"
+        )
+        # Spin the persistent pool up on a two-point batch so the
+        # timed sweep below measures reuse, not fork cost.
+        explorer.evaluate_many(explorer.space.points()[:2])
+        explorer.cache.hits = explorer.cache.misses = 0
+        return explorer
+
+    def run(explorer: Explorer) -> CaseRun:
+        points = explorer.space.points()[2:]
+        explorer.evaluate_many(points)
+        return CaseRun(
+            evals=_evals(explorer),
+            points=len(points),
+            cache=explorer.cache.stats_dict(),
+        )
+
+    def teardown(explorer: Any) -> None:
+        if explorer is not None:
+            explorer.close()
+
+    return PerfCase(
+        name="sweep_parallel_warm_pool_cavity",
+        run=run,
+        setup=setup,
+        teardown=teardown,
+        tags=("parallel", "sweep"),
+        description="cavity cold batch through an already-warm "
+        "persistent 2-process pool",
     )
 
 
@@ -187,6 +227,7 @@ def register_builtin_cases(replace: bool = False) -> None:
         register_case(_resweep_memoized(app), replace=replace)
     register_case(_oracle_single("btpc"), replace=replace)
     register_case(_sweep_parallel_cavity(), replace=replace)
+    register_case(_sweep_parallel_warm_pool_cavity(), replace=replace)
     register_case(_registry_sweep_warm_disk(), replace=replace)
 
 

@@ -211,9 +211,13 @@ class ComparisonReport:
 
     threshold: float
     comparisons: List[CaseComparison] = field(default_factory=list)
-    #: Cases present in only one report are reported, never failed on:
-    #: the CI quick subset is a strict subset of the full baseline.
+    #: New cases without a baseline number yet are reported, never
+    #: failed on — they gain a reference at the next baseline refresh.
     missing_in_baseline: List[str] = field(default_factory=list)
+    #: Baseline cases absent from the current run ARE a failure: a
+    #: silently dropped case is an ungated hot path.  Narrow both
+    #: reports with ``tag=`` when the run is an intentional subset of
+    #: the baseline (the CI quick gate does).
     missing_in_current: List[str] = field(default_factory=list)
 
     @property
@@ -224,8 +228,13 @@ class ComparisonReport:
     def ok(self) -> bool:
         # Zero shared cases is a gate failure, not a pass: case-name
         # drift (or comparing against the wrong baseline file) must not
-        # leave CI green while gating nothing.
-        return bool(self.comparisons) and not self.regressions
+        # leave CI green while gating nothing.  Likewise a baseline
+        # case missing from the current run.
+        return (
+            bool(self.comparisons)
+            and not self.regressions
+            and not self.missing_in_current
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -235,6 +244,19 @@ class ComparisonReport:
             "missing_in_baseline": list(self.missing_in_baseline),
             "missing_in_current": list(self.missing_in_current),
         }
+
+    def _verdict(self) -> str:
+        if not self.comparisons:
+            return "FAILED: no shared cases to compare"
+        if self.missing_in_current:
+            names = ", ".join(self.missing_in_current)
+            return (
+                f"FAILED: {len(self.missing_in_current)} baseline case(s) "
+                f"missing from the current run: {names}"
+            )
+        if self.regressions:
+            return f"{len(self.regressions)} case(s) regressed"
+        return "no regressions"
 
     def describe(self) -> str:
         lines = [
@@ -251,37 +273,68 @@ class ComparisonReport:
         for name in self.missing_in_baseline:
             lines.append(f"{name:<34}  (not in baseline, skipped)")
         for name in self.missing_in_current:
-            lines.append(f"{name:<34}  (not in current run, skipped)")
-        if not self.comparisons:
-            verdict = "FAILED: no shared cases to compare"
-        elif self.ok:
-            verdict = "no regressions"
-        else:
-            verdict = f"{len(self.regressions)} case(s) regressed"
-        lines.append(f"threshold {self.threshold:.2f}x: {verdict}")
+            lines.append(f"{name:<34}  (MISSING from current run)")
+        lines.append(f"threshold {self.threshold:.2f}x: {self._verdict()}")
         return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """A GitHub-flavoured summary table (CI step-summary upload)."""
+        status = "✅" if self.ok else "❌"
+        lines = [
+            f"### Perf regression gate {status}",
+            "",
+            f"Threshold: {self.threshold:.2f}x evals/sec slowdown — "
+            f"{self._verdict()}",
+            "",
+            "| case | baseline evals/s | current evals/s | slowdown | verdict |",
+            "| --- | ---: | ---: | ---: | --- |",
+        ]
+        for entry in self.comparisons:
+            verdict = "**REGRESSED**" if entry.regressed else "ok"
+            lines.append(
+                f"| {entry.name} | {entry.baseline_evals_per_sec:.1f} "
+                f"| {entry.current_evals_per_sec:.1f} "
+                f"| {entry.slowdown:.2f} | {verdict} |"
+            )
+        for name in self.missing_in_baseline:
+            lines.append(f"| {name} | — | (new case) | — | skipped |")
+        for name in self.missing_in_current:
+            lines.append(f"| {name} | — | — | — | **MISSING** |")
+        return "\n".join(lines) + "\n"
 
 
 def compare_reports(
     current: BenchReport,
     baseline: BenchReport,
     threshold: float = 2.0,
+    *,
+    tag: Optional[str] = None,
 ) -> ComparisonReport:
     """Diff evals/sec per shared case; flag slowdowns beyond threshold.
 
+    ``tag`` narrows *both* reports to the cases carrying it before
+    comparing — that is how a subset run (the CI quick gate) compares
+    strictly against a full-suite baseline: within the subset, a
+    baseline case missing from the current run fails the comparison.
     A case with no baseline throughput (0 evals/sec recorded) can never
     regress — there is nothing to regress from.
     """
     if threshold <= 0:
         raise ValueError("threshold must be > 0")
+    current_cases = [
+        case for case in current.cases if tag is None or tag in case.tags
+    ]
+    baseline_cases = [
+        case for case in baseline.cases if tag is None or tag in case.tags
+    ]
     result = ComparisonReport(threshold=threshold)
-    baseline_names = set(baseline.case_names())
-    current_names = set(current.case_names())
-    for case in current.cases:
-        if case.name not in baseline_names:
+    baseline_by_name = {case.name: case for case in baseline_cases}
+    current_names = {case.name for case in current_cases}
+    for case in current_cases:
+        reference = baseline_by_name.get(case.name)
+        if reference is None:
             result.missing_in_baseline.append(case.name)
             continue
-        reference = baseline.case(case.name)
         if reference.evals_per_sec <= 0.0:
             slowdown = 1.0
         elif case.evals_per_sec <= 0.0:
@@ -297,5 +350,7 @@ def compare_reports(
                 regressed=slowdown > threshold,
             )
         )
-    result.missing_in_current = sorted(baseline_names - current_names)
+    result.missing_in_current = sorted(
+        set(baseline_by_name) - current_names
+    )
     return result

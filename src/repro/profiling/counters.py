@@ -13,7 +13,7 @@ target).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Tuple
+from typing import Dict, Iterator, Tuple
 
 
 @dataclass

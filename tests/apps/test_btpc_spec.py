@@ -3,8 +3,6 @@
 import pytest
 
 from repro.apps.btpc import (
-    BtpcConstraints,
-    build_btpc_program,
     upper_detail_count,
     upper_pyramid_words,
 )

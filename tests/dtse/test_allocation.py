@@ -4,7 +4,6 @@ import pytest
 
 from repro.dtse.allocation.assign import (
     AssignmentError,
-    GroupNestLoad,
     assign_memories,
     build_nest_loads,
     page_factor,

@@ -152,6 +152,112 @@ def test_disk_cache_clear_removes_entries(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Bulk hooks: lookup_many / store_many
+# ----------------------------------------------------------------------
+def test_memory_cache_lookup_many_counts_like_get():
+    cache = MemoryCache()
+    cache.store_many({"aa": _payload(1), "bb": _payload(2)})
+    found = cache.lookup_many(["aa", "bb", "cc", "aa"])  # duplicate probed once
+    assert found == {"aa": {"value": 1}, "bb": {"value": 2}}
+    assert cache.stats.hits == 2
+    assert cache.stats.misses == 1
+    assert cache.stats.stores == 2
+
+
+def test_disk_cache_lookup_many_warm_batch(tmp_path):
+    warm = DiskCache(tmp_path)
+    warm.store_many({f"k{i:03d}": _payload(i) for i in range(6)})
+    fresh = DiskCache(tmp_path)  # cold mirror: entries come off disk
+    keys = [f"k{i:03d}" for i in range(6)] + ["missing1", "missing2"]
+    found = fresh.lookup_many(keys)
+    assert found == {f"k{i:03d}": _payload(i) for i in range(6)}
+    assert fresh.stats.hits == 6
+    assert fresh.stats.misses == 2
+    # A second bulk probe is served by the mirror.
+    again = fresh.lookup_many([f"k{i:03d}" for i in range(6)])
+    assert again == found
+    assert fresh.stats.hits == 12
+
+
+def test_disk_cache_lookup_many_tolerates_corrupt_shards(tmp_path):
+    warm = DiskCache(tmp_path)
+    warm.store_many({"aaaa": _payload(1), "bbbb": _payload(2), "cccc": _payload(3)})
+    (tmp_path / "bb" / "bbbb.json").write_text("{truncated", encoding="utf-8")
+    fresh = DiskCache(tmp_path)
+    found = fresh.lookup_many(["aaaa", "bbbb", "cccc"])
+    # The corrupt entry is tolerated as a miss; the rest still resolve.
+    assert found == {"aaaa": _payload(1), "cccc": _payload(3)}
+    assert fresh.stats.corrupt == 1
+    assert fresh.stats.misses == 1
+    # The bad file was discarded so a rewrite repairs the entry.
+    assert not (tmp_path / "bb" / "bbbb.json").exists()
+
+
+def test_disk_cache_lookup_many_sees_sibling_writes(tmp_path):
+    reader = DiskCache(tmp_path)
+    assert reader.lookup_many(["abcd"]) == {}
+    DiskCache(tmp_path).put("abcd", _payload(9))  # a sibling process writes
+    # The next bulk probe's single directory refresh picks it up.
+    assert reader.lookup_many(["abcd"]) == {"abcd": _payload(9)}
+
+
+def test_disk_cache_lookup_many_tolerates_vanished_file(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.put("abcd", _payload(1))
+    fresh = DiskCache(tmp_path)  # indexes the entry, mirror still cold
+    (tmp_path / "ab" / "abcd.json").unlink()
+    assert fresh.lookup_many(["abcd"]) == {}
+    assert fresh.stats.misses == 1
+    assert len(fresh) == 0  # the stale index entry is dropped
+
+
+def test_evaluation_cache_lookup_many_decodes_failures(tmp_path):
+    shared = EvaluationCache(path=tmp_path)
+    shared.backend.put("good", {"label": "x", "memories": []})
+    shared.store_failure("bad", "infeasible corner")
+    resolved = shared.lookup_many(["good", "bad", "absent"])
+    report, error = resolved["good"]
+    assert report is not None and error is None
+    report, error = resolved["bad"]
+    assert report is None and error == "infeasible corner"
+    assert "absent" not in resolved
+
+
+def test_evaluation_cache_bulk_falls_back_without_backend_hooks():
+    class MinimalBackend:
+        """A protocol-minimal backend: no bulk hooks at all."""
+
+        def __init__(self):
+            from repro.api import CacheStats
+
+            self.stats = CacheStats()
+            self._entries = {}
+
+        def get(self, key):
+            return self._entries.get(key)
+
+        def put(self, key, payload):
+            self._entries[key] = dict(payload)
+
+        def __len__(self):
+            return len(self._entries)
+
+        def clear(self):
+            self._entries.clear()
+
+    shared = EvaluationCache(backend=MinimalBackend())
+    shared.backend.put("good", {"label": "x", "memories": []})
+    resolved = shared.lookup_many(["good", "absent"])
+    assert set(resolved) == {"good"}
+    # store_many degrades to per-key puts.
+    from repro.costs.report import CostReport
+
+    report = CostReport.from_dict({"label": "y", "memories": []})
+    shared.store_many({"k1": report, "k2": report})
+    assert len(shared.backend) == 3
+
+
+# ----------------------------------------------------------------------
 # resolve_backend / EvaluationCache wiring
 # ----------------------------------------------------------------------
 def test_resolve_backend_variants(tmp_path):

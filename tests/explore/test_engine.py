@@ -127,6 +127,91 @@ def test_parallel_rerun_hits_cache(serial_result):
     assert restored.to_dict() == rerun.to_dict()
 
 
+def test_persistent_pool_reused_across_batches_and_deterministic(serial_result):
+    """One pool serves every batch, and results stay bit-identical."""
+    result, _ = serial_result
+    explorer = Explorer(_fir_space(), workers=2, min_parallel_batch=2)
+    points = explorer.space.points()
+    first_half = explorer.evaluate_many(points[:6])
+    pool = explorer._pool
+    assert pool is not None  # batch >= threshold: the pool spun up
+    second_half = explorer.evaluate_many(points[6:])
+    assert explorer._pool is pool  # reused, not respawned per batch
+    combined = [r.report.to_dict() for r in first_half + second_half]
+    assert combined == [r.report.to_dict() for r in result.records]
+    assert [r.fingerprint for r in first_half + second_half] == [
+        r.fingerprint for r in result.records
+    ]
+    explorer.close()
+    assert explorer._pool is None
+
+
+def test_small_batches_fall_back_to_serial():
+    """Below min_parallel_batch a cold explorer never pays fork cost."""
+    explorer = Explorer(_fir_space(), workers=4, min_parallel_batch=4)
+    points = explorer.space.points()
+    records = explorer.evaluate_many(points[:2])
+    assert len(records) == 2
+    assert explorer._pool is None  # serial fallback: no pool spun up
+    # The serial path even cached the full PmmResult objects.
+    assert explorer.cache.get_result(records[0].fingerprint) is not None
+    # A batch at the threshold spins the pool up; afterwards even tiny
+    # batches reuse the warm pool rather than falling back.
+    explorer.evaluate_many(points[2:6])
+    pool = explorer._pool
+    assert pool is not None
+    explorer.evaluate_many(points[6:8])
+    assert explorer._pool is pool
+    explorer.close()
+
+
+def test_explorer_context_manager_closes_pool():
+    with Explorer(_fir_space(), workers=2, min_parallel_batch=2) as explorer:
+        explorer.evaluate_many(explorer.space.points()[:4])
+        assert explorer._pool is not None
+    assert explorer._pool is None
+    # close() is idempotent and the explorer stays usable afterwards.
+    explorer.close()
+    assert explorer.evaluate(explorer.space.points()[0]).cache_hit
+
+
+def test_explorer_rejects_bad_min_parallel_batch():
+    with pytest.raises(ValueError):
+        Explorer(_fir_space(), min_parallel_batch=1)
+
+
+# ----------------------------------------------------------------------
+# Batch accounting: duplicates, hit/miss reconciliation
+# ----------------------------------------------------------------------
+def test_duplicate_fresh_points_count_one_miss():
+    """In-batch duplicates of a fresh point: one miss, no double time."""
+    explorer = Explorer(_fir_space())
+    point = explorer.space.point("taps8")
+    records = explorer.evaluate_many([point, point, point])
+    assert len(records) == 3
+    assert [record.cache_hit for record in records] == [False, True, True]
+    assert records[0].seconds > 0.0
+    assert records[1].seconds == records[2].seconds == 0.0
+    assert explorer.cache.misses == 1
+    # The duplicates never touched the backend: no phantom hits.
+    assert explorer.cache.hits == 0
+    backend = explorer.cache.backend
+    assert backend.stats.misses == 1 and backend.stats.stores == 1
+    # Total attributed seconds equals the single oracle run's.
+    assert sum(record.seconds for record in records) == records[0].seconds
+
+
+def test_duplicate_cached_points_count_one_backend_hit():
+    explorer = Explorer(_fir_space())
+    point = explorer.space.point("taps8")
+    explorer.evaluate(point)
+    hits_before = explorer.cache.backend.stats.hits
+    records = explorer.evaluate_many([point, point])
+    assert all(record.cache_hit for record in records)
+    assert explorer.cache.hits == 1  # one unique backend resolution
+    assert explorer.cache.backend.stats.hits == hits_before + 1
+
+
 # ----------------------------------------------------------------------
 # Result sets
 # ----------------------------------------------------------------------
@@ -215,12 +300,16 @@ def test_infeasible_points_skippable():
 
 def test_infeasible_points_skippable_parallel():
     space = _fir_space()
-    explorer = Explorer(space, workers=2, on_error="skip")
+    # min_parallel_batch=2 forces the two-point batch through the pool
+    # (the default threshold would fall back to the serial path).
+    explorer = Explorer(space, workers=2, min_parallel_batch=2, on_error="skip")
     points = [space.point("taps8"), space.point("taps8", n_onchip=10)]
     records = explorer.evaluate_many(points)
+    assert explorer._pool is not None  # the pool really was exercised
     assert len(records) == 1
     assert len(explorer.failures) == 1
     assert "10" in explorer.failures[0][1]
+    explorer.close()
 
 
 def test_pareto_refine_with_skipped_points_keeps_pairing():

@@ -1,0 +1,154 @@
+"""Incremental fingerprinting: byte-compatibility and memoization.
+
+The incremental path (invariant program/library fragments + per-point
+knob digest) must produce fingerprints byte-identical to the monolithic
+``fingerprint_request`` reference — that is what keeps existing
+``DiskCache`` directories and golden files valid.
+"""
+
+import pytest
+
+from repro.api import (
+    DesignSpace,
+    Explorer,
+    fingerprint_from_parts,
+    fingerprint_request,
+    list_apps,
+)
+from repro.explore import fingerprint as fingerprint_module
+from repro.explore.fingerprint import canonical_json
+from repro.memlib.library import default_library
+
+
+# ----------------------------------------------------------------------
+# Compatibility: incremental == monolithic, byte for byte
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("app", sorted(list_apps()))
+def test_incremental_fingerprints_match_reference_for_app(app):
+    """Every point of every registered app's default space agrees."""
+    explorer = Explorer.for_app(app)
+    points = explorer.space.points()
+    assert points
+    for point in points:
+        request = explorer.request_for(point)
+        assert explorer.fingerprint_point(point, request) == fingerprint_request(
+            request
+        )
+
+
+def test_fingerprint_from_parts_matches_reference_on_edge_knobs():
+    """Float formatting and null knobs splice exactly as json.dumps does."""
+    space = DesignSpace("edge", cycle_budget=12_345.678, frame_time_s=1e-3)
+    space.add_variant("v", build=_tiny_program)
+    explorer = Explorer(space, area_weight=0.125, seed=7)
+    for n_onchip in (None, 0, 3):
+        point = space.point("v", n_onchip=n_onchip)
+        request = explorer.request_for(point)
+        assert explorer.fingerprint_point(point, request) == fingerprint_request(
+            request
+        )
+
+
+def _tiny_program():
+    from repro.api import ProgramBuilder
+
+    builder = ProgramBuilder("tiny")
+    builder.array("a", shape=(64,), bitwidth=8)
+    nest = builder.nest("loop", iterators=("i",), trips=(64,))
+    nest.read("a", index=("i",))
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Memoization: the invariant fragment is computed once per sweep
+# ----------------------------------------------------------------------
+def test_sweep_canonicalizes_each_variant_once(monkeypatch):
+    calls = []
+    real = fingerprint_module.canonical_json
+
+    def counting(value):
+        calls.append(type(value).__name__)
+        return real(value)
+
+    monkeypatch.setattr(
+        "repro.explore.space.canonical_json", counting
+    )
+    explorer = Explorer.for_app("motion")
+    points = explorer.space.points()
+    for point in points:
+        explorer.fingerprint_point(point, explorer.request_for(point))
+    for point in points:  # second sweep: fully memoized
+        explorer.fingerprint_point(point, explorer.request_for(point))
+    # One canonicalization per variant plus one per library — never per
+    # point, never per sweep.
+    expected = len(explorer.space.variants) + len(explorer.space.libraries)
+    assert len(calls) == expected
+
+
+def test_add_library_invalidates_memoized_fragment():
+    space = DesignSpace("inv", cycle_budget=10_000, frame_time_s=1e-3)
+    space.add_variant("v", build=_tiny_program)
+    first = space.fingerprint_library_json("default")
+    library = default_library()
+    library.offchip_word_threshold = 1024  # a genuinely different library
+    space.add_library("default", library)
+    second = space.fingerprint_library_json("default")
+    assert first != second
+    assert second == canonical_json(library)
+
+
+def test_direct_library_mutation_invalidates_memoized_fragment():
+    """The memo revalidates by identity: even a raw dict write on the
+    public ``libraries`` field can never serve a stale fragment."""
+    space = DesignSpace("inv2", cycle_budget=10_000, frame_time_s=1e-3)
+    space.add_variant("v", build=_tiny_program)
+    explorer = Explorer(space)
+    point = space.point("v")
+    before = explorer.fingerprint_point(point, explorer.request_for(point))
+    library = default_library()
+    library.offchip_word_threshold = 1024
+    space.libraries["default"] = library  # direct mutation, not add_library
+    after = explorer.fingerprint_point(point, explorer.request_for(point))
+    assert before != after
+    assert after == fingerprint_request(explorer.request_for(point))
+
+
+def test_adhoc_fragment_memo_stays_bounded():
+    """Sessions feeding a fresh program per call must not grow the memo
+    without limit."""
+    explorer = Explorer()
+    keep = []
+    for index in range(Explorer.ADHOC_MEMO_ENTRIES * 3):
+        value = {"step": index}
+        keep.append(value)  # keep ids unique while the loop runs
+        explorer._adhoc_fragment(value)
+    assert len(explorer._adhoc_json) == Explorer.ADHOC_MEMO_ENTRIES
+    # A live entry is reused, not recomputed into a new slot.
+    hot = keep[-1]
+    assert explorer._adhoc_fragment(hot) == canonical_json(hot)
+    assert len(explorer._adhoc_json) == Explorer.ADHOC_MEMO_ENTRIES
+
+
+def test_fingerprint_from_parts_rejects_nothing_silently():
+    """The spliced blob is real JSON: fragments must be JSON texts."""
+    program_json = canonical_json({"p": 1})
+    library_json = canonical_json({"l": 2})
+    fingerprint = fingerprint_from_parts(
+        program_json,
+        library_json,
+        cycle_budget=100.0,
+        frame_time_s=0.001,
+        n_onchip=None,
+        area_weight=0.5,
+        seed=0,
+    )
+    assert len(fingerprint) == 64
+    assert fingerprint != fingerprint_from_parts(
+        program_json,
+        library_json,
+        cycle_budget=100.0,
+        frame_time_s=0.001,
+        n_onchip=2,
+        area_weight=0.5,
+        seed=0,
+    )

@@ -9,7 +9,6 @@ from repro.memlib import (
     MemoryLibrary,
     OffChipLibrary,
     OnChipGenerator,
-    OnChipTechnology,
     RegisterFileTechnology,
     default_library,
 )

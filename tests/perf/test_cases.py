@@ -44,6 +44,19 @@ def test_resweep_memoized_case_is_all_hits():
     assert result.cache["hit_rate"] == pytest.approx(1.0)
 
 
+def test_warm_pool_case_measures_fresh_points_only():
+    """The warm-pool case times oracle misses, not pool spin-up."""
+    result = run_case(
+        get_case("sweep_parallel_warm_pool_cavity"), min_seconds=0.0, max_repeats=1
+    )
+    assert result.evals > 0
+    # Every timed evaluation was fresh work through the warm pool: the
+    # two setup points were excluded and their counters reset.
+    assert result.cache["hits"] == 0
+    assert result.evals == result.cache["misses"]
+    assert result.evals_per_sec > 0
+
+
 def test_registry_warm_disk_resweep_never_reruns_the_oracle():
     """Acceptance: a warm DiskCache re-sweep does zero oracle re-evals."""
     result = run_case(

@@ -93,6 +93,65 @@ def test_compare_threshold_is_respected(tmp_path):
     assert main(["compare", str(current), str(baseline), "--threshold", "20"]) == 0
 
 
+def test_compare_missing_baseline_case_exits_nonzero(tmp_path, capsys):
+    """A case dropped from the run must fail loudly, not pass silently."""
+    baseline = BenchReport(
+        label="base",
+        cases=[
+            CaseResult(name="synthetic", evals=2, evals_per_sec=100.0),
+            CaseResult(name="dropped", evals=2, evals_per_sec=50.0),
+        ],
+    )
+    baseline_path = tmp_path / "base.json"
+    baseline.to_json(baseline_path)
+    current = _write_report(tmp_path / "current.json", "now", 95.0)
+    code = main(["compare", str(current), str(baseline_path)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "missing from the current run" in out
+    assert "dropped" in out
+
+
+def test_compare_tag_narrows_to_subset(tmp_path):
+    """--tag quick gates the quick subset against a full baseline."""
+    baseline = BenchReport(
+        label="base",
+        cases=[
+            CaseResult(name="synthetic", tags=("quick",), evals_per_sec=100.0),
+            CaseResult(name="slow_only", tags=("full",), evals_per_sec=1.0),
+        ],
+    )
+    baseline_path = tmp_path / "base.json"
+    baseline.to_json(baseline_path)
+    current = BenchReport(
+        label="now",
+        cases=[CaseResult(name="synthetic", tags=("quick",), evals_per_sec=95.0)],
+    )
+    current_path = tmp_path / "current.json"
+    current.to_json(current_path)
+    assert main(["compare", str(current_path), str(baseline_path)]) == 1
+    assert (
+        main(["compare", str(current_path), str(baseline_path), "--tag", "quick"])
+        == 0
+    )
+
+
+def test_compare_writes_markdown_summary(tmp_path):
+    current = _write_report(tmp_path / "current.json", "now", 95.0)
+    baseline = _write_report(tmp_path / "base.json", "base", 100.0)
+    summary = tmp_path / "summary.md"
+    summary.write_text("# Existing content\n", encoding="utf-8")
+    code = main(
+        ["compare", str(current), str(baseline), "--summary", str(summary)]
+    )
+    assert code == 0
+    text = summary.read_text(encoding="utf-8")
+    # Appended, not overwritten (GITHUB_STEP_SUMMARY semantics).
+    assert text.startswith("# Existing content")
+    assert "Perf regression gate" in text
+    assert "| synthetic |" in text
+
+
 def test_compare_against_committed_baseline_schema(tmp_path):
     """The committed baseline parses and compares cleanly."""
     repo_root = Path(__file__).resolve().parents[2]

@@ -107,14 +107,55 @@ def test_compare_accepts_speedups_and_equal():
     assert outcome.comparisons[0].slowdown == pytest.approx(1.0 / 3.0)
 
 
-def test_compare_skips_unshared_cases():
-    baseline = _report("base", [_case("a", 100.0), _case("only_base", 5.0)])
+def test_compare_skips_cases_missing_from_baseline():
+    """A brand-new case has nothing to regress from: reported, not failed."""
+    baseline = _report("base", [_case("a", 100.0)])
     current = _report("now", [_case("a", 90.0), _case("only_current", 5.0)])
     outcome = compare_reports(current, baseline, threshold=2.0)
     assert outcome.ok
     assert outcome.missing_in_baseline == ["only_current"]
-    assert outcome.missing_in_current == ["only_base"]
     assert [entry.name for entry in outcome.comparisons] == ["a"]
+
+
+def test_compare_fails_on_baseline_case_missing_from_current():
+    """A dropped case is an ungated hot path, not a silent pass."""
+    baseline = _report("base", [_case("a", 100.0), _case("only_base", 5.0)])
+    current = _report("now", [_case("a", 90.0)])
+    outcome = compare_reports(current, baseline, threshold=2.0)
+    assert not outcome.ok
+    assert outcome.missing_in_current == ["only_base"]
+    assert "missing from the current run" in outcome.describe()
+    assert "only_base" in outcome.describe()
+
+
+def test_compare_tag_narrows_both_reports():
+    """--tag compares a subset run strictly against a full baseline."""
+    baseline = _report(
+        "base",
+        [
+            _case("a", 100.0, tags=("quick",)),
+            _case("slow", 5.0, tags=("full",)),
+        ],
+    )
+    current = _report("now", [_case("a", 90.0, tags=("quick",))])
+    # Untagged: the full-only case is missing and fails the comparison.
+    assert not compare_reports(current, baseline, threshold=2.0).ok
+    # Tag-narrowed: only the quick subset is gated, and strictly so.
+    narrowed = compare_reports(current, baseline, threshold=2.0, tag="quick")
+    assert narrowed.ok
+    assert [entry.name for entry in narrowed.comparisons] == ["a"]
+    empty = _report("now", [])
+    assert not compare_reports(empty, baseline, threshold=2.0, tag="quick").ok
+
+
+def test_comparison_markdown_summary():
+    baseline = _report("base", [_case("a", 100.0), _case("gone", 5.0)])
+    current = _report("now", [_case("a", 10.0)])
+    text = compare_reports(current, baseline, threshold=2.0).to_markdown()
+    assert "| case |" in text
+    assert "**REGRESSED**" in text
+    assert "gone" in text and "**MISSING**" in text
+    assert text.endswith("\n")
 
 
 def test_compare_zero_throughput_edges():
