@@ -78,6 +78,10 @@ class AppSpec:
     baseline: str = "baseline"
     space_factory: Optional[Callable[[Any], "DesignSpace"]] = None
 
+    #: How many distinct constraint configurations each spec remembers
+    #: built programs for (see :meth:`_variant_store`).
+    PROGRAM_CACHE_KEYS = 8
+
     # ------------------------------------------------------------------
     @property
     def variant_names(self) -> Tuple[str, ...]:
@@ -97,12 +101,63 @@ class AppSpec:
             constraints = self.constraints_factory()
         return self.build_program(constraints)
 
+    def _variant_store(self, constraints: Any) -> Dict[str, Program]:
+        """The per-constraints program store shared across spaces.
+
+        Variant programs are deterministic functions of (spec,
+        constraints) — ``build_program`` is pure and transforms are
+        documented pure — so every space declared at equal constraints
+        can share one set of built :class:`Program` objects.  Sharing
+        is what makes a fresh ``Explorer.for_app(...)`` warm-path
+        cheap: the identity-keyed fragment memo
+        (:func:`~repro.explore.fingerprint.cached_canonical_json`)
+        then serves the canonical program JSON without recanonicalizing
+        per space.  Keyed by the constraints' canonical JSON; bounded
+        to :attr:`PROGRAM_CACHE_KEYS` configurations (oldest dropped)
+        so constraint sweeps cannot pin programs without limit.
+        """
+        from ..explore.fingerprint import canonical_json
+
+        cache: Optional[Dict[str, Dict[str, Program]]]
+        cache = getattr(self, "_program_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_program_cache", cache)
+        key = canonical_json(constraints)
+        store = cache.get(key)
+        if store is None:
+            while len(cache) >= self.PROGRAM_CACHE_KEYS:
+                cache.pop(next(iter(cache)))
+            store = cache[key] = {}
+        return store
+
+    def _build_variant(
+        self, store: Dict[str, Program], name: str, constraints: Any
+    ) -> Program:
+        program = store.get(name)
+        if program is not None:
+            return program
+        if name == self.baseline:
+            program = self.build_program(constraints)
+        else:
+            transform = next(t for t in self.transforms if t.name == name)
+            program = transform.apply(
+                self._build_variant(store, self.baseline, constraints),
+                constraints,
+            )
+        store[name] = program
+        return program
+
     def space(self, constraints: Optional[Any] = None) -> "DesignSpace":
         """The app's default design space, swept by name everywhere.
 
-        The baseline program is built (and cached) by the space itself;
-        every transform variant pulls it through ``space.program`` so
-        one expensive specification build serves all alternatives.
+        The baseline program is built at most once per (spec,
+        constraints) configuration and shared by every space declared
+        at those constraints; each transform variant derives from that
+        shared baseline, so one expensive specification build serves
+        all alternatives — across explorer instances, not just within
+        one.  The shared programs are treated as immutable, exactly as
+        the engine already assumes when fingerprinting them.
         """
         # Deferred: repro.explore imports repro.apps (the BTPC study),
         # so the registry cannot import the space module at load time.
@@ -123,16 +178,17 @@ class AppSpec:
             ),
             description=self.title,
         )
+        store = self._variant_store(constraints)
         space.add_variant(
             self.baseline,
-            build=lambda: self.build_program(constraints),
+            build=lambda: self._build_variant(store, self.baseline, constraints),
             description="the pruned specification as written",
         )
         for transform in self.transforms:
             space.add_variant(
                 transform.name,
-                build=lambda t=transform: t.apply(
-                    space.program(self.baseline), constraints
+                build=lambda t=transform: self._build_variant(
+                    store, t.name, constraints
                 ),
                 description=transform.description,
             )

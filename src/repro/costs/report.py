@@ -4,12 +4,23 @@ Every evaluation of a memory organization produces a :class:`CostReport`
 with the three columns the paper tabulates — on-chip area [mm²], on-chip
 power [mW], off-chip power [mW] — plus the per-memory breakdown so a
 designer can see *where* the cost comes from.
+
+The module also owns the **compact payload codec** the cache stack uses
+to persist report payloads on disk without generic JSON decoding:
+:func:`pack_payload` / :func:`unpack_payload` translate the exact
+``to_dict`` payload shape (plus the ``__infeasible__`` negative-entry
+marker) to a small self-describing struct-packed record with a
+magic+version header.  Payloads that do not match a known shape fall
+back to an embedded JSON record, so the codec round-trips *any*
+JSON-object payload a cache backend is handed.
 """
 
 from __future__ import annotations
 
+import json
+import struct
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from ..memlib.module import MemoryKind
 
@@ -155,6 +166,244 @@ class CostReport:
             cycle_budget=float(data.get("cycle_budget", 0.0)),
             notes=data.get("notes", ""),
         )
+
+
+# ----------------------------------------------------------------------
+# Compact payload codec
+# ----------------------------------------------------------------------
+#: First bytes of every compact record.  The lead byte is a UTF-8
+#: continuation byte, so no JSON (or any UTF-8) text can ever start
+#: with the magic — format sniffing is unambiguous.
+COMPACT_MAGIC = b"\x93RPC"
+COMPACT_VERSION = 1
+
+#: Payload key marking a negatively-cached evaluation (the cache stack's
+#: canonical infeasibility marker; re-exported as
+#: ``EvaluationCache.FAILURE_KEY``).
+INFEASIBLE_MARKER = "__infeasible__"
+
+_RECORD_GENERIC = 0  # embedded JSON: any payload shape
+_RECORD_REPORT = 1  # struct-packed CostReport.to_dict() payload
+_RECORD_FAILURE = 2  # the __infeasible__ negative entry
+
+_REPORT_KEYS = frozenset(
+    ("label", "memories", "cycles_used", "cycle_budget", "notes")
+)
+_MEMORY_KEYS = frozenset(
+    (
+        "name",
+        "kind",
+        "words",
+        "width",
+        "ports",
+        "area_mm2",
+        "power_mw",
+        "groups",
+        "access_rate_hz",
+    )
+)
+
+_HEADER = struct.Struct("<4sBB")
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+_MEMORY_NUMERIC = struct.Struct("<qiiddd")  # words width ports area power rate
+_REPORT_NUMERIC = struct.Struct("<dd")  # cycles_used cycle_budget
+
+
+class CompactDecodeError(ValueError):
+    """A compact record failed to decode (bad magic, version, bytes)."""
+
+
+def _is_real(value: Any) -> bool:
+    """A plain int/float (bools are JSON booleans, not numbers here)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _pack_str(out: List[bytes], text: str) -> None:
+    blob = text.encode("utf-8")
+    out.append(_U32.pack(len(blob)))
+    out.append(blob)
+
+
+def _memory_packable(memory: Any) -> bool:
+    return (
+        isinstance(memory, Mapping)
+        and frozenset(memory) == _MEMORY_KEYS
+        and isinstance(memory["name"], str)
+        and isinstance(memory["kind"], str)
+        and isinstance(memory["words"], int)
+        and isinstance(memory["width"], int)
+        and isinstance(memory["ports"], int)
+        and not isinstance(memory["words"], bool)
+        and not isinstance(memory["width"], bool)
+        and not isinstance(memory["ports"], bool)
+        and _is_real(memory["area_mm2"])
+        and _is_real(memory["power_mw"])
+        and _is_real(memory["access_rate_hz"])
+        and isinstance(memory["groups"], (list, tuple))
+        and all(isinstance(group, str) for group in memory["groups"])
+    )
+
+
+def _report_packable(payload: Mapping[str, Any]) -> bool:
+    return (
+        frozenset(payload) == _REPORT_KEYS
+        and isinstance(payload["label"], str)
+        and isinstance(payload["notes"], str)
+        and _is_real(payload["cycles_used"])
+        and _is_real(payload["cycle_budget"])
+        and isinstance(payload["memories"], (list, tuple))
+        and all(_memory_packable(memory) for memory in payload["memories"])
+    )
+
+
+def pack_payload(payload: Mapping[str, Any]) -> bytes:
+    """Encode a cache payload as a compact self-describing record.
+
+    ``CostReport.to_dict()`` payloads and ``{__infeasible__: message}``
+    negative entries pack to typed struct records; anything else packs
+    as an embedded-JSON record, so every JSON-object payload survives a
+    round trip.  Numeric report fields are stored as IEEE doubles —
+    :meth:`CostReport.from_dict` coerces through ``float()`` anyway, so
+    an integer-valued field decodes to an equal (``==``) payload.
+    """
+    keys = frozenset(payload)
+    if keys == {INFEASIBLE_MARKER} and isinstance(payload[INFEASIBLE_MARKER], str):
+        return (
+            _HEADER.pack(COMPACT_MAGIC, COMPACT_VERSION, _RECORD_FAILURE)
+            + payload[INFEASIBLE_MARKER].encode("utf-8")
+        )
+    if _report_packable(payload):
+        try:
+            out: List[bytes] = [
+                _HEADER.pack(COMPACT_MAGIC, COMPACT_VERSION, _RECORD_REPORT),
+                _REPORT_NUMERIC.pack(
+                    float(payload["cycles_used"]), float(payload["cycle_budget"])
+                ),
+            ]
+            _pack_str(out, payload["label"])
+            _pack_str(out, payload["notes"])
+            memories = payload["memories"]
+            out.append(_U32.pack(len(memories)))
+            for memory in memories:
+                _pack_str(out, memory["name"])
+                _pack_str(out, memory["kind"])
+                out.append(
+                    _MEMORY_NUMERIC.pack(
+                        memory["words"],
+                        memory["width"],
+                        memory["ports"],
+                        float(memory["area_mm2"]),
+                        float(memory["power_mw"]),
+                        float(memory["access_rate_hz"]),
+                    )
+                )
+                groups = memory["groups"]
+                out.append(_U32.pack(len(groups)))
+                for group in groups:
+                    _pack_str(out, group)
+            return b"".join(out)
+        except struct.error:
+            pass  # out-of-range field: the generic record still fits
+    blob = json.dumps(dict(payload), ensure_ascii=False).encode("utf-8")
+    return _HEADER.pack(COMPACT_MAGIC, COMPACT_VERSION, _RECORD_GENERIC) + blob
+
+
+def is_compact_payload(data: bytes) -> bool:
+    """True when ``data`` carries the compact-record magic."""
+    return data[: len(COMPACT_MAGIC)] == COMPACT_MAGIC
+
+
+class _Reader:
+    """Sequential decoder over one compact record's bytes."""
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes, offset: int) -> None:
+        self.data = data
+        self.offset = offset
+
+    def unpack(self, fmt: struct.Struct) -> Tuple[Any, ...]:
+        values = fmt.unpack_from(self.data, self.offset)
+        self.offset += fmt.size
+        return values
+
+    def read_str(self) -> str:
+        (length,) = self.unpack(_U32)
+        end = self.offset + length
+        if end > len(self.data):
+            raise CompactDecodeError("compact record is truncated")
+        text = self.data[self.offset : end].decode("utf-8")
+        self.offset = end
+        return text
+
+
+def unpack_payload(data: bytes) -> Dict[str, Any]:
+    """Decode a compact record back into its payload dict.
+
+    Raises :class:`CompactDecodeError` on anything that is not a whole,
+    well-formed record of a known version — callers treat that exactly
+    like a corrupt JSON shard.
+    """
+    try:
+        magic, version, record = _HEADER.unpack_from(data, 0)
+    except struct.error as exc:
+        raise CompactDecodeError(f"compact header unreadable: {exc}") from None
+    if magic != COMPACT_MAGIC:
+        raise CompactDecodeError("not a compact payload record (bad magic)")
+    if version != COMPACT_VERSION:
+        raise CompactDecodeError(f"unsupported compact payload version {version}")
+    body = _HEADER.size
+    try:
+        if record == _RECORD_FAILURE:
+            return {INFEASIBLE_MARKER: data[body:].decode("utf-8")}
+        if record == _RECORD_GENERIC:
+            payload = json.loads(data[body:].decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise CompactDecodeError("embedded payload is not a JSON object")
+            return payload
+        if record != _RECORD_REPORT:
+            raise CompactDecodeError(f"unknown compact record type {record}")
+        reader = _Reader(data, body)
+        cycles_used, cycle_budget = reader.unpack(_REPORT_NUMERIC)
+        label = reader.read_str()
+        notes = reader.read_str()
+        (memory_count,) = reader.unpack(_U32)
+        memories: List[Dict[str, Any]] = []
+        for _ in range(memory_count):
+            name = reader.read_str()
+            kind = reader.read_str()
+            words, width, ports, area, power, rate = reader.unpack(
+                _MEMORY_NUMERIC
+            )
+            (group_count,) = reader.unpack(_U32)
+            groups = [reader.read_str() for _ in range(group_count)]
+            memories.append(
+                {
+                    "name": name,
+                    "kind": kind,
+                    "words": words,
+                    "width": width,
+                    "ports": ports,
+                    "area_mm2": area,
+                    "power_mw": power,
+                    "groups": groups,
+                    "access_rate_hz": rate,
+                }
+            )
+        if reader.offset != len(data):
+            raise CompactDecodeError("trailing bytes after compact record")
+        return {
+            "label": label,
+            "memories": memories,
+            "cycles_used": cycles_used,
+            "cycle_budget": cycle_budget,
+            "notes": notes,
+        }
+    except CompactDecodeError:
+        raise
+    except (struct.error, UnicodeDecodeError, ValueError) as exc:
+        raise CompactDecodeError(f"compact record unreadable: {exc}") from None
 
 
 def render_cost_table(

@@ -7,9 +7,15 @@ evaluation under a content-addressed fingerprint.  This module owns
 * :class:`MemoryCache` — an in-process store (the default), optionally
   bounded by ``max_entries`` with least-recently-used eviction so long
   strategy runs cannot grow it without limit.
-* :class:`DiskCache` — a content-addressed on-disk store (sharded JSON
+* :class:`DiskCache` — a content-addressed on-disk store (sharded
   files, atomic writes, corruption-tolerant reads) that keeps sweeps
-  warm across *processes and runs*, not just within one explorer.
+  warm across *processes and runs*, not just within one explorer.  New
+  entries are written in the **compact payload format**
+  (:mod:`repro.costs.report`'s struct-packed records, ``format=
+  "compact"``, the default) so warm-disk probes skip generic JSON
+  decoding; legacy ``.json`` shards remain readable transparently, so
+  existing cache directories stay valid (``format="json"`` keeps
+  writing them).
 
 Both implement the :class:`CacheBackend` protocol and expose a
 :class:`CacheStats` counter block (hits, misses, stores, evictions,
@@ -41,6 +47,7 @@ from typing import (
     Any,
     Dict,
     Iterator,
+    List,
     Mapping,
     Optional,
     Protocol,
@@ -49,6 +56,18 @@ from typing import (
     Union,
     runtime_checkable,
 )
+
+from ..costs.report import (
+    CompactDecodeError,
+    is_compact_payload,
+    pack_payload,
+    unpack_payload,
+)
+
+#: Shard-file suffix of compact payload records (legacy entries keep
+#: ``.json``; both are always readable regardless of the write format).
+COMPACT_SUFFIX = ".rpc"
+JSON_SUFFIX = ".json"
 
 
 # ----------------------------------------------------------------------
@@ -190,11 +209,24 @@ class MemoryCache:
 # ----------------------------------------------------------------------
 # On-disk content-addressed store
 # ----------------------------------------------------------------------
+def _mtime(path: Path) -> float:
+    # A sibling process may unlink a shard between glob and stat;
+    # treat the vanished file like any other miss.
+    try:
+        return path.stat().st_mtime
+    except OSError:
+        return 0.0
+
+
 class DiskCache:
-    """Content-addressed JSON store under ``root``, safe across runs.
+    """Content-addressed on-disk store under ``root``, safe across runs.
 
     Layout is sharded by fingerprint prefix —
-    ``root/<key[:2]>/<key>.json`` — so directories stay small at scale.
+    ``root/<key[:2]>/<key>.rpc`` (compact payload records) or
+    ``<key>.json`` (legacy shards) — so directories stay small at
+    scale.  ``format`` selects what :meth:`put` writes (``"compact"``,
+    the default, or ``"json"``); reads sniff the record's magic bytes,
+    so mixed directories and pre-compact cache dirs stay fully valid.
     Writes go through a same-directory temp file plus ``os.replace`` so
     a crashed writer can never leave a half-written shard; readers that
     do hit a corrupt file (truncated by external causes, wrong content)
@@ -206,41 +238,50 @@ class DiskCache:
     number of *on-disk* entries with least-recently-stored eviction.
     """
 
+    #: Read preference when a key exists in both formats (a legacy
+    #: shard left behind next to its compact rewrite).
+    _SUFFIXES = (COMPACT_SUFFIX, JSON_SUFFIX)
+
     def __init__(
         self,
         root: Union[str, Path],
         *,
         max_entries: Optional[int] = None,
+        format: str = "compact",
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        if format not in ("compact", "json"):
+            raise ValueError("format must be 'compact' or 'json'")
         self.root = Path(root)
         self.max_entries = max_entries
+        self.format = format
         self.stats = CacheStats()
         self._mirror: Dict[str, Dict[str, Any]] = {}
-        self._known: "OrderedDict[str, None]" = OrderedDict()
+        #: key -> shard suffix, in least-recently-stored-first order.
+        self._known: "OrderedDict[str, str]" = OrderedDict()
         self.root.mkdir(parents=True, exist_ok=True)
+        for path in self._scan():
+            # Ascending mtime: a key present in both formats keeps the
+            # newer file's suffix and recency slot.
+            self._known.pop(path.stem, None)
+            self._known[path.stem] = path.suffix
 
-        def mtime(path: Path) -> float:
-            # A sibling process may unlink a shard between glob and
-            # stat; treat the vanished file like any other miss.
-            try:
-                return path.stat().st_mtime
-            except OSError:
-                return 0.0
-
-        for path in sorted(
-            self.root.glob("*/*.json"),
-            key=lambda p: (mtime(p), p.name),
-        ):
-            self._known[path.stem] = None
+    def _scan(self) -> List[Path]:
+        """Every shard file, oldest first (ties broken by name)."""
+        paths = list(self.root.glob(f"*/*{JSON_SUFFIX}"))
+        paths.extend(self.root.glob(f"*/*{COMPACT_SUFFIX}"))
+        paths.sort(key=lambda p: (_mtime(p), p.name))
+        return paths
 
     # ------------------------------------------------------------------
     def _shard(self, key: str) -> Path:
         return self.root / key[:2]
 
-    def _file(self, key: str) -> Path:
-        return self._shard(key) / f"{key}.json"
+    def _file(self, key: str, suffix: Optional[str] = None) -> Path:
+        if suffix is None:
+            suffix = COMPACT_SUFFIX if self.format == "compact" else JSON_SUFFIX
+        return self._shard(key) / f"{key}{suffix}"
 
     def __len__(self) -> int:
         return len(self._known)
@@ -256,32 +297,84 @@ class DiskCache:
             return payload
         return self._load(key)
 
-    def _load(self, key: str) -> Optional[Dict[str, Any]]:
-        """Read one shard file, counting hit/miss/corrupt as it goes."""
-        path = self._file(key)
-        try:
-            text = path.read_text(encoding="utf-8")
-            payload = json.loads(text)
-            if not isinstance(payload, dict):
-                raise ValueError("cache entry is not a JSON object")
-        except FileNotFoundError:
-            self.stats.misses += 1
-            self._known.pop(key, None)
-            return None
-        except (OSError, ValueError, UnicodeDecodeError):
-            self.stats.corrupt += 1
-            self.stats.misses += 1
-            self._discard(key)
-            return None
-        self._mirror[key] = payload
-        self._known.setdefault(key, None)
-        self.stats.hits += 1
+    @staticmethod
+    def _decode(data: bytes) -> Dict[str, Any]:
+        """Decode one shard's bytes, whatever format it was written in."""
+        if is_compact_payload(data):
+            return unpack_payload(data)
+        payload = json.loads(data.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("cache entry is not a JSON object")
         return payload
 
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        """Read one shard file, counting hit/miss/corrupt as it goes.
+
+        The indexed suffix is tried first; the sibling format is the
+        fallback, so an entry rewritten in the other format by another
+        process — or whose shard in one format got corrupted while a
+        healthy one remains in the other — still resolves.  Only the
+        unreadable file is discarded; the miss is counted once, and
+        only when no candidate resolved.
+        """
+        indexed = self._known.get(key)
+        if indexed is None:
+            suffixes: Tuple[str, ...] = self._SUFFIXES
+        else:
+            suffixes = (indexed,) + tuple(
+                suffix for suffix in self._SUFFIXES if suffix != indexed
+            )
+        for suffix in suffixes:
+            path = self._file(key, suffix)
+            try:
+                data = path.read_bytes()
+            except FileNotFoundError:
+                continue
+            except OSError:
+                self.stats.corrupt += 1
+                self._unlink(path)
+                continue
+            try:
+                payload = self._decode(data)
+            except (CompactDecodeError, ValueError, UnicodeDecodeError):
+                self.stats.corrupt += 1
+                self._unlink(path)
+                continue
+            self._mirror[key] = payload
+            # Plain assignment: appends unindexed keys, keeps the
+            # recency slot of already-indexed ones.
+            self._known[key] = suffix
+            self.stats.hits += 1
+            return payload
+        self.stats.misses += 1
+        self._known.pop(key, None)
+        return None
+
+    @staticmethod
+    def _unlink(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
     def _refresh_known(self) -> None:
-        """One directory pass picking up shards written by siblings."""
-        for path in sorted(self.root.glob("*/*.json"), key=lambda p: p.name):
-            self._known.setdefault(path.stem, None)
+        """One directory pass picking up shards written by siblings.
+
+        Newly absorbed shards are ordered by **mtime** (exactly like
+        ``__init__``), not by name: with ``max_entries`` set, eviction
+        must drop the oldest entries, and a name-ordered absorb could
+        push a sibling's most recent stores to the front of the victim
+        queue.  Keys already indexed keep their recency slot.
+        """
+        already = set(self._known)
+        for path in self._scan():
+            key = path.stem
+            if key in already:
+                continue
+            # A key found in both formats keeps the newer file (the
+            # scan is ascending in mtime).
+            self._known.pop(key, None)
+            self._known[key] = path.suffix
 
     def lookup_many(self, keys: Sequence[str]) -> Dict[str, Dict[str, Any]]:
         """Bulk :meth:`get` over a batch of keys in one pass.
@@ -321,45 +414,71 @@ class DiskCache:
     def put(self, key: str, payload: Mapping[str, Any]) -> None:
         shard = self._shard(key)
         shard.mkdir(parents=True, exist_ok=True)
-        blob = json.dumps(dict(payload), ensure_ascii=False)
+        if self.format == "compact":
+            blob = pack_payload(payload)
+            suffix = COMPACT_SUFFIX
+        else:
+            blob = json.dumps(dict(payload), ensure_ascii=False).encode("utf-8")
+            suffix = JSON_SUFFIX
         fd, temp_name = tempfile.mkstemp(dir=shard, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            with os.fdopen(fd, "wb") as handle:
                 handle.write(blob)
-            os.replace(temp_name, self._file(key))
+            os.replace(temp_name, self._file(key, suffix))
         except BaseException:
             try:
                 os.unlink(temp_name)
             except OSError:
                 pass
             raise
+        for other in self._SUFFIXES:
+            # A rewrite supersedes the entry's other-format shard (a
+            # legacy .json next to a fresh compact record, or vice
+            # versa): two live files for one key would shadow updates.
+            if other != suffix:
+                self._unlink(self._file(key, other))
         self._mirror[key] = dict(payload)
-        self._known[key] = None
-        self._known.move_to_end(key)
+        self._known.pop(key, None)
+        self._known[key] = suffix
         self.stats.stores += 1
         while self.max_entries is not None and len(self._known) > self.max_entries:
             oldest, _ = self._known.popitem(last=False)
             self._mirror.pop(oldest, None)
-            try:
-                self._file(oldest).unlink()
-            except OSError:
-                pass
+            for suffix_ in self._SUFFIXES:
+                self._unlink(self._file(oldest, suffix_))
             self.stats.evictions += 1
 
     def _discard(self, key: str) -> None:
         self._mirror.pop(key, None)
         self._known.pop(key, None)
-        try:
-            self._file(key).unlink()
-        except OSError:
-            pass
+        for suffix in self._SUFFIXES:
+            self._unlink(self._file(key, suffix))
 
     def clear(self) -> None:
+        """Remove every entry, including shards written by siblings.
+
+        The directory index is refreshed first, so entries stored by
+        other processes since the last refresh are cleared too (a clear
+        that silently leaves sibling shards behind would resurrect them
+        on the next probe); emptied shard directories are removed so a
+        cleared cache leaves nothing but its root behind.
+        """
+        self._refresh_known()
         for key in tuple(self._known):
             self._discard(key)
         self._mirror.clear()
         self._known.clear()
         self.stats.reset()
+        try:
+            shards = list(self.root.iterdir())
+        except OSError:
+            shards = []
+        for shard in shards:
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass  # non-empty (a sibling raced a write) or busy
 
 
 def resolve_backend(

@@ -31,6 +31,7 @@ import dataclasses
 import json
 import math
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -46,14 +47,14 @@ from typing import (
     Union,
 )
 
-from ..costs.report import CostReport
+from ..costs.report import INFEASIBLE_MARKER, CostReport
 from ..dtse.allocation.assign import DEFAULT_AREA_WEIGHT
 from ..dtse.pipeline import PmmRequest, PmmResult
 from ..ir.program import Program
 from ..memlib.library import MemoryLibrary, default_library
 from .cache import CacheBackend, DiskCache, resolve_backend
 from .fingerprint import (
-    canonical_json,
+    cached_canonical_json,
     canonical_value,
     fingerprint_from_parts,
     fingerprint_request,
@@ -86,6 +87,16 @@ class EvaluationCache:
     :class:`PmmResult`\\ s are kept in-memory only (they hold schedules
     and conflict graphs) for callers that need more than the report.
 
+    On top of the backend sits the **decoded-report tier**: a
+    fingerprint -> (:class:`CostReport` | failure) mirror of everything
+    this cache has decoded or stored, consulted before any backend
+    probe.  A warm re-probe costs one dictionary lookup — no payload
+    fetch, no :meth:`CostReport.from_dict` materialization.  The tier
+    shares the backend's ``max_entries`` bound with the same LRU
+    discipline (an unbounded backend keeps it unbounded), so a bounded
+    cache stack stays bounded end to end; ``decoded_hits`` counts the
+    probes it absorbed.
+
     ``hits``/``misses`` count *evaluations* the explorer resolved from
     cache versus ran through the oracle; the backend's own
     :class:`~repro.explore.cache.CacheStats` counts raw store traffic
@@ -109,9 +120,15 @@ class EvaluationCache:
             )
         self.path = self.backend.root if isinstance(self.backend, DiskCache) else None
         self.max_entries = getattr(self.backend, "max_entries", None)
-        self.results: Dict[str, PmmResult] = {}
+        self.results: "OrderedDict[str, PmmResult]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: The decoded-report tier: fingerprint -> (report, error),
+        #: LRU-ordered, bounded by the backend's ``max_entries``.
+        self._decoded: "OrderedDict[str, Tuple[Optional[CostReport], Optional[str]]]" = (
+            OrderedDict()
+        )
+        self.decoded_hits = 0
 
     def __len__(self) -> int:
         return len(self.backend)
@@ -119,47 +136,102 @@ class EvaluationCache:
     #: Payload marker for negatively-cached evaluations (infeasible
     #: points).  Persisting failures means a warm on-disk cache never
     #: re-runs the oracle, not even for the corners it cannot satisfy.
-    FAILURE_KEY = "__infeasible__"
+    FAILURE_KEY = INFEASIBLE_MARKER
 
+    # ------------------------------------------------------------------
+    # Decoded-report tier plumbing
+    # ------------------------------------------------------------------
+    def _remember(
+        self,
+        fingerprint: str,
+        entry: Tuple[Optional[CostReport], Optional[str]],
+    ) -> None:
+        """Pin a decoded entry with LRU recency under the shared bound."""
+        decoded = self._decoded
+        decoded[fingerprint] = entry
+        decoded.move_to_end(fingerprint)
+        if self.max_entries is not None:
+            while len(decoded) > self.max_entries:
+                decoded.popitem(last=False)
+
+    def _decode_payload(
+        self, fingerprint: str, payload: Mapping[str, Any]
+    ) -> Tuple[Optional[CostReport], Optional[str]]:
+        if self.FAILURE_KEY in payload:
+            entry: Tuple[Optional[CostReport], Optional[str]] = (
+                None,
+                str(payload[self.FAILURE_KEY]),
+            )
+        else:
+            entry = (CostReport.from_dict(payload), None)
+        self._remember(fingerprint, entry)
+        return entry
+
+    @property
+    def decoded_entries(self) -> int:
+        """Current size of the decoded-report tier."""
+        return len(self._decoded)
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
     def lookup(
         self, fingerprint: str
     ) -> Tuple[Optional[CostReport], Optional[str]]:
-        """One backend probe: (report, None), (None, error) or (None, None)."""
+        """One probe: (report, None), (None, error) or (None, None).
+
+        The decoded tier is consulted first; only a decoded-tier miss
+        touches the backend (and the decode it pays fills the tier).
+        """
+        entry = self._decoded.get(fingerprint)
+        if entry is not None:
+            self._decoded.move_to_end(fingerprint)
+            self.decoded_hits += 1
+            return entry
         payload = self.backend.get(fingerprint)
         if payload is None:
             return None, None
-        if self.FAILURE_KEY in payload:
-            return None, str(payload[self.FAILURE_KEY])
-        return CostReport.from_dict(payload), None
+        return self._decode_payload(fingerprint, payload)
 
     def lookup_many(
         self, fingerprints: Sequence[str]
     ) -> Dict[str, Tuple[Optional[CostReport], Optional[str]]]:
-        """One bulk backend probe for a whole batch of fingerprints.
+        """One bulk probe for a whole batch of fingerprints.
 
         Returns ``{fingerprint: (report, error)}`` for the fingerprints
-        the backend holds; absent fingerprints are simply missing from
-        the mapping.  Uses the backend's ``lookup_many`` bulk hook when
-        it has one (the :class:`~repro.explore.cache.DiskCache` version
-        probes a warm sweep in one directory pass) and falls back to
-        per-key :meth:`~repro.explore.cache.CacheBackend.get` calls
-        otherwise.
+        the cache holds; absent fingerprints are simply missing from
+        the mapping.  Fingerprints already in the decoded tier never
+        reach the backend; the rest go through the backend's
+        ``lookup_many`` bulk hook when it has one (the
+        :class:`~repro.explore.cache.DiskCache` version probes a warm
+        sweep in one directory pass) with a per-key
+        :meth:`~repro.explore.cache.CacheBackend.get` fallback, and
+        their decoded entries fill the tier in bulk.
         """
+        decoded = self._decoded
+        resolved: Dict[str, Tuple[Optional[CostReport], Optional[str]]] = {}
+        remaining: List[str] = []
+        for fingerprint in dict.fromkeys(fingerprints):
+            entry = decoded.get(fingerprint)
+            if entry is not None:
+                decoded.move_to_end(fingerprint)
+                self.decoded_hits += 1
+                resolved[fingerprint] = entry
+            else:
+                remaining.append(fingerprint)
+        if not remaining:
+            return resolved
         bulk = getattr(self.backend, "lookup_many", None)
         if bulk is not None:
-            payloads = bulk(list(fingerprints))
+            payloads = bulk(remaining)
         else:
             payloads = {}
-            for fingerprint in dict.fromkeys(fingerprints):
+            for fingerprint in remaining:
                 payload = self.backend.get(fingerprint)
                 if payload is not None:
                     payloads[fingerprint] = payload
-        resolved: Dict[str, Tuple[Optional[CostReport], Optional[str]]] = {}
         for fingerprint, payload in payloads.items():
-            if self.FAILURE_KEY in payload:
-                resolved[fingerprint] = (None, str(payload[self.FAILURE_KEY]))
-            else:
-                resolved[fingerprint] = (CostReport.from_dict(payload), None)
+            resolved[fingerprint] = self._decode_payload(fingerprint, payload)
         return resolved
 
     def store_many(self, reports: Mapping[str, CostReport]) -> None:
@@ -174,6 +246,8 @@ class EvaluationCache:
         else:
             for fingerprint, payload in payloads.items():
                 self.backend.put(fingerprint, payload)
+        for fingerprint, report in reports.items():
+            self._remember(fingerprint, (report, None))
 
     def get_report(self, fingerprint: str) -> Optional[CostReport]:
         return self.lookup(fingerprint)[0]
@@ -183,10 +257,31 @@ class EvaluationCache:
         return self.lookup(fingerprint)[1]
 
     def get_result(self, fingerprint: str) -> Optional[PmmResult]:
-        return self.results.get(fingerprint)
+        result = self.results.get(fingerprint)
+        if result is not None:
+            self.results.move_to_end(fingerprint)
+        return result
+
+    def store_result(self, fingerprint: str, result: PmmResult) -> None:
+        """Pin a full result, LRU-bounded like every in-memory tier.
+
+        Results hold schedules and conflict graphs, so an unbounded
+        result store is the heaviest possible leak for long strategy
+        runs over a bounded backend; the same ``max_entries`` bound and
+        recency discipline apply.  An already-pinned fingerprint keeps
+        its (deterministically identical) result and just refreshes
+        recency.
+        """
+        if fingerprint not in self.results:
+            self.results[fingerprint] = result
+        self.results.move_to_end(fingerprint)
+        if self.max_entries is not None:
+            while len(self.results) > self.max_entries:
+                self.results.popitem(last=False)
 
     def store_failure(self, fingerprint: str, error: str) -> None:
         self.backend.put(fingerprint, {self.FAILURE_KEY: error})
+        self._remember(fingerprint, (None, error))
 
     def store(
         self,
@@ -195,19 +290,17 @@ class EvaluationCache:
         result: Optional[PmmResult] = None,
     ) -> None:
         self.backend.put(fingerprint, report.to_dict())
+        self._remember(fingerprint, (report, None))
         if result is not None:
-            self.results[fingerprint] = result
-            while (
-                self.max_entries is not None
-                and len(self.results) > self.max_entries
-            ):
-                self.results.pop(next(iter(self.results)))
+            self.store_result(fingerprint, result)
 
     def clear(self) -> None:
         self.backend.clear()
         self.results.clear()
+        self._decoded.clear()
         self.hits = 0
         self.misses = 0
+        self.decoded_hits = 0
 
     def stats(self) -> str:
         return f"{len(self.backend)} entries, {self.hits} hits, {self.misses} misses"
@@ -220,6 +313,8 @@ class EvaluationCache:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": round(self.hits / total, 6) if total else 0.0,
+            "decoded_hits": self.decoded_hits,
+            "decoded_entries": len(self._decoded),
             "backend": type(self.backend).__name__,
             "backend_stats": self.backend.stats.to_dict(),
         }
@@ -430,12 +525,6 @@ class Explorer:
         self._seconds: Dict[str, float] = {}
         self._errors: Dict[str, str] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
-        # Ad-hoc fingerprint memo for the spaceless evaluate_program
-        # path, keyed by object identity (the stored reference keeps
-        # the id valid for as long as the entry lives).  LRU-bounded:
-        # sessions that build a fresh program per step must not pin
-        # every program (and its canonical JSON) forever.
-        self._adhoc_json: Dict[int, Tuple[Any, str]] = {}
         self._default_library: Optional[MemoryLibrary] = None
 
     # ------------------------------------------------------------------
@@ -520,26 +609,6 @@ class Explorer:
             area_weight=request.area_weight,
             seed=request.seed,
         )
-
-    #: Entry bound for the ad-hoc fingerprint memo.  Evicted entries
-    #: drop their object reference, so a recycled id can never match a
-    #: stale entry (live entries keep their object alive).
-    ADHOC_MEMO_ENTRIES = 64
-
-    def _adhoc_fragment(self, value: Any) -> str:
-        """Identity-memoized canonical JSON for spaceless evaluations."""
-        key = id(value)
-        entry = self._adhoc_json.get(key)
-        if entry is not None and entry[0] is value:
-            # Refresh recency (dict order is the eviction order).
-            self._adhoc_json.pop(key)
-            self._adhoc_json[key] = entry
-            return entry[1]
-        entry = (value, canonical_json(value))
-        self._adhoc_json[key] = entry
-        while len(self._adhoc_json) > self.ADHOC_MEMO_ENTRIES:
-            self._adhoc_json.pop(next(iter(self._adhoc_json)))
-        return entry[1]
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -750,8 +819,10 @@ class Explorer:
             seed=self.seed,
         )
         fingerprint = fingerprint_from_parts(
-            self._adhoc_fragment(request.program),
-            self._adhoc_fragment(request.library),
+            # The spaceless path uses the same process-wide
+            # identity-memoized fragments as design-space sweeps.
+            cached_canonical_json(request.program),
+            cached_canonical_json(request.library),
             cycle_budget=request.cycle_budget,
             frame_time_s=request.frame_time_s,
             n_onchip=request.n_onchip,
@@ -767,8 +838,9 @@ class Explorer:
             seconds = time.perf_counter() - start
             if hit:
                 # A report-only hit (parallel or disk entry): keep the
-                # recomputed result so later callers get it for free.
-                self.cache.results.setdefault(fingerprint, result)
+                # recomputed result so later callers get it for free
+                # (LRU-bounded exactly like a stored one).
+                self.cache.store_result(fingerprint, result)
         if hit:
             self.cache.hits += 1
         else:

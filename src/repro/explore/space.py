@@ -37,7 +37,7 @@ from typing import (
 
 from ..ir.program import Program
 from ..memlib.library import MemoryLibrary, default_library
-from .fingerprint import canonical_json
+from .fingerprint import cached_canonical_json
 
 #: Name of the implicit library axis entry when none is declared.
 DEFAULT_LIBRARY = "default"
@@ -126,15 +126,6 @@ class DesignSpace:
         if not self.libraries:
             self.libraries = {DEFAULT_LIBRARY: default_library()}
         self._programs: Dict[str, Program] = {}
-        # Sweep-invariant canonical-JSON fragments, memoized per axis
-        # value: the fingerprint hot path splices these instead of
-        # re-canonicalizing the whole program for every design point.
-        # Entries carry the canonicalized object and are revalidated by
-        # identity, so replacing a library or program (through
-        # add_library or direct dict mutation) can never serve a stale
-        # fragment.
-        self._variant_fingerprint_json: Dict[str, Tuple[Program, str]] = {}
-        self._library_fingerprint_json: Dict[str, Tuple[MemoryLibrary, str]] = {}
 
     # ------------------------------------------------------------------
     # Registry lookup
@@ -211,15 +202,14 @@ class DesignSpace:
         point's fingerprint; the engine combines it with the per-point
         knob digest via
         :func:`~repro.explore.fingerprint.fingerprint_from_parts`.
-        The memo revalidates against the live program object, so it can
-        never drift from what :meth:`program` hands the oracle.
+        The memo is the process-wide identity-keyed fragment store
+        (:func:`~repro.explore.fingerprint.cached_canonical_json`), so
+        fresh spaces sharing registry-built program objects pay the
+        canonicalization once per process — and it revalidates against
+        the live program object, so it can never drift from what
+        :meth:`program` hands the oracle.
         """
-        program = self.program(variant_name)
-        entry = self._variant_fingerprint_json.get(variant_name)
-        if entry is None or entry[0] is not program:
-            entry = (program, canonical_json(program))
-            self._variant_fingerprint_json[variant_name] = entry
-        return entry[1]
+        return cached_canonical_json(self.program(variant_name))
 
     def fingerprint_library_json(self, name: str) -> str:
         """The library's canonical JSON, computed at most once.
@@ -228,12 +218,7 @@ class DesignSpace:
         replacement — :meth:`add_library` or direct dict mutation —
         invalidates the memoized fragment automatically.
         """
-        library = self.library(name)
-        entry = self._library_fingerprint_json.get(name)
-        if entry is None or entry[0] is not library:
-            entry = (library, canonical_json(library))
-            self._library_fingerprint_json[name] = entry
-        return entry[1]
+        return cached_canonical_json(self.library(name))
 
     def effective_budget(self, fraction: float) -> float:
         """The paper's budget scaling: partial budgets truncate to int."""

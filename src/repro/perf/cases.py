@@ -13,7 +13,14 @@ Four scenario families per fast workload (registered on import, tagged
 * ``registry_sweep_warm_disk`` — every fast app swept into one shared
   :class:`~repro.explore.cache.DiskCache`, then re-swept by *fresh*
   explorer instances over the same directory: the cross-process /
-  cross-run warm path.  Zero oracle re-evaluations by construction.
+  cross-run warm path (compact shard decoding included).  Zero oracle
+  re-evaluations by construction.
+* ``registry_resweep_warm_decoded`` — the same registry-wide re-sweep
+  through one shared :class:`~repro.api.EvaluationCache` whose
+  **decoded-report tier** is already warm: every probe resolves to a
+  live :class:`~repro.costs.report.CostReport` without payload
+  fetching or ``from_dict`` materialization.  This is the cache
+  stack's in-process ceiling.
 
 ``sweep_parallel_cavity`` exercises the ``workers=N`` process pool from
 cold (pool spin-up included), ``sweep_parallel_warm_pool_cavity``
@@ -216,6 +223,60 @@ def _registry_sweep_warm_disk() -> PerfCase:
     )
 
 
+def _registry_resweep_warm_decoded() -> PerfCase:
+    def setup() -> Dict[str, Any]:
+        cache_dir = Path(tempfile.mkdtemp(prefix="repro-perf-decoded-"))
+        shared = EvaluationCache(path=cache_dir)
+        for app in FAST_APPS:
+            Explorer.for_app(app, cache=shared, on_error="skip").run(ExhaustiveSweep())
+        # One untimed re-sweep fills the decoded tier from disk; the
+        # measured runs below never leave it.
+        for app in FAST_APPS:
+            Explorer.for_app(app, cache=shared, on_error="skip").run(ExhaustiveSweep())
+        shared.hits = shared.misses = 0
+        shared.decoded_hits = 0
+        return {"cache": shared, "cache_dir": cache_dir}
+
+    def run(state: Dict[str, Any]) -> CaseRun:
+        shared = state["cache"]
+        decoded_before = shared.decoded_hits
+        evals = 0
+        points = 0
+        for app in FAST_APPS:
+            explorer = Explorer.for_app(app, cache=shared, on_error="skip")
+            result = explorer.run(ExhaustiveSweep())
+            evals += len(result.records)
+            points += len(explorer.space)
+        if shared.misses:
+            raise AssertionError(
+                "warm decoded-tier re-sweep re-ran the oracle "
+                f"{shared.misses} time(s)"
+            )
+        if shared.decoded_hits == decoded_before:
+            raise AssertionError("decoded tier served no probes")
+        return CaseRun(
+            evals=evals,
+            points=points,
+            cache=shared.stats_dict(),
+            notes="registry-wide re-sweep against a warm decoded-report "
+            "tier (no payload decoding, zero oracle re-evaluations)",
+        )
+
+    def teardown(state: Any) -> None:
+        if state is not None:
+            shutil.rmtree(state["cache_dir"], ignore_errors=True)
+
+    return PerfCase(
+        name="registry_resweep_warm_decoded",
+        run=run,
+        setup=setup,
+        teardown=teardown,
+        tags=("quick", "memo", "decoded"),
+        description="all fast apps re-swept through a warm decoded-report "
+        "tier: live CostReports, no payload decoding",
+    )
+
+
 # ----------------------------------------------------------------------
 # Registration
 # ----------------------------------------------------------------------
@@ -229,6 +290,7 @@ def register_builtin_cases(replace: bool = False) -> None:
     register_case(_sweep_parallel_cavity(), replace=replace)
     register_case(_sweep_parallel_warm_pool_cavity(), replace=replace)
     register_case(_registry_sweep_warm_disk(), replace=replace)
+    register_case(_registry_resweep_warm_decoded(), replace=replace)
 
 
 register_builtin_cases(replace=True)

@@ -22,7 +22,8 @@ from repro.api import (
     MemoryCache,
     ProgramBuilder,
 )
-from repro.explore.cache import resolve_backend
+from repro.costs.report import COMPACT_MAGIC
+from repro.explore.cache import COMPACT_SUFFIX, JSON_SUFFIX, resolve_backend
 
 
 def _payload(value: int) -> dict:
@@ -98,19 +99,40 @@ def test_disk_cache_shards_by_prefix(tmp_path):
     cache = DiskCache(tmp_path)
     cache.put("abcd", _payload(1))
     cache.put("efgh", _payload(2))
-    assert (tmp_path / "ab" / "abcd.json").exists()
-    assert (tmp_path / "ef" / "efgh.json").exists()
+    assert (tmp_path / "ab" / f"abcd{COMPACT_SUFFIX}").exists()
+    assert (tmp_path / "ef" / f"efgh{COMPACT_SUFFIX}").exists()
+
+
+def test_disk_cache_json_format_writes_legacy_shards(tmp_path):
+    cache = DiskCache(tmp_path, format="json")
+    cache.put("abcd", _payload(1))
+    path = tmp_path / "ab" / "abcd.json"
+    assert path.exists()
+    assert json.loads(path.read_text(encoding="utf-8")) == {"value": 1}
+
+
+def test_disk_cache_rejects_unknown_format(tmp_path):
+    with pytest.raises(ValueError):
+        DiskCache(tmp_path, format="msgpack")
+
+
+def test_disk_cache_compact_records_carry_magic(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.put("abcd", _payload(1))
+    data = (tmp_path / "ab" / f"abcd{COMPACT_SUFFIX}").read_bytes()
+    assert data.startswith(COMPACT_MAGIC)
 
 
 def test_disk_cache_tolerates_corrupted_shard(tmp_path):
     cache = DiskCache(tmp_path)
     cache.put("abcd", _payload(1))
-    (tmp_path / "ab" / "abcd.json").write_text("{truncated", encoding="utf-8")
+    shard = tmp_path / "ab" / f"abcd{COMPACT_SUFFIX}"
+    shard.write_bytes(COMPACT_MAGIC + b"\x01")  # truncated compact record
     fresh = DiskCache(tmp_path)  # no in-memory mirror: must read the file
     assert fresh.get("abcd") is None
     assert fresh.stats.corrupt == 1
     # The bad file is discarded so a rewrite repairs the entry.
-    assert not (tmp_path / "ab" / "abcd.json").exists()
+    assert not shard.exists()
     fresh.put("abcd", _payload(2))
     assert DiskCache(tmp_path).get("abcd") == {"value": 2}
 
@@ -139,7 +161,7 @@ def test_disk_cache_max_entries_prunes_files(tmp_path):
     cache.put("cc03", _payload(3))
     assert len(cache) == 2
     assert cache.stats.evictions == 1
-    assert not (tmp_path / "aa" / "aa01.json").exists()
+    assert not (tmp_path / "aa" / f"aa01{COMPACT_SUFFIX}").exists()
     assert DiskCache(tmp_path).get("cc03") == {"value": 3}
 
 
@@ -149,6 +171,43 @@ def test_disk_cache_clear_removes_entries(tmp_path):
     cache.clear()
     assert len(cache) == 0
     assert DiskCache(tmp_path).get("abcd") is None
+
+
+def test_disk_cache_clear_removes_sibling_shards_and_empty_dirs(tmp_path):
+    """The clear() fix: shards written by siblings since the last
+    refresh are cleared too, and emptied shard dirs are removed."""
+    cache = DiskCache(tmp_path)
+    cache.put("abcd", _payload(1))
+    sibling = DiskCache(tmp_path, format="json")
+    sibling.put("efgh", _payload(2))  # unknown to `cache` until a refresh
+    cache.clear()
+    assert len(cache) == 0
+    assert sorted(tmp_path.iterdir()) == []  # no shard dirs left behind
+    fresh = DiskCache(tmp_path)
+    assert fresh.get("abcd") is None
+    assert fresh.get("efgh") is None
+
+
+def test_disk_cache_refresh_orders_sibling_shards_by_mtime(tmp_path):
+    """The index-recency fix: absorbing sibling-written shards must
+    order them by mtime, so eviction drops the *oldest* entry — a
+    name-ordered absorb could evict a sibling's newest store."""
+    reader = DiskCache(tmp_path, max_entries=2)
+    sibling = DiskCache(tmp_path)
+    # Written zz -> aa (name order is the exact reverse of store order).
+    sibling.put("zz01", _payload(1))
+    sibling.put("aa02", _payload(2))
+    old = (tmp_path / "zz" / f"zz01{COMPACT_SUFFIX}", 1_000_000_000)
+    new = (tmp_path / "aa" / f"aa02{COMPACT_SUFFIX}", 1_000_000_500)
+    for path, stamp in (old, new):
+        os.utime(path, (stamp, stamp))
+    assert len(reader.lookup_many(["zz01", "aa02"])) == 2  # absorb both
+    reader.put("ff03", _payload(3))  # bound is 2: one eviction
+    assert reader.stats.evictions == 1
+    # The mtime-oldest shard (zz01) is the victim, not the newest store.
+    assert not old[0].exists()
+    assert new[0].exists()
+    assert DiskCache(tmp_path).get("aa02") == {"value": 2}
 
 
 # ----------------------------------------------------------------------
@@ -182,7 +241,8 @@ def test_disk_cache_lookup_many_warm_batch(tmp_path):
 def test_disk_cache_lookup_many_tolerates_corrupt_shards(tmp_path):
     warm = DiskCache(tmp_path)
     warm.store_many({"aaaa": _payload(1), "bbbb": _payload(2), "cccc": _payload(3)})
-    (tmp_path / "bb" / "bbbb.json").write_text("{truncated", encoding="utf-8")
+    shard = tmp_path / "bb" / f"bbbb{COMPACT_SUFFIX}"
+    shard.write_bytes(COMPACT_MAGIC[:2])  # not even a whole header
     fresh = DiskCache(tmp_path)
     found = fresh.lookup_many(["aaaa", "bbbb", "cccc"])
     # The corrupt entry is tolerated as a miss; the rest still resolve.
@@ -190,7 +250,85 @@ def test_disk_cache_lookup_many_tolerates_corrupt_shards(tmp_path):
     assert fresh.stats.corrupt == 1
     assert fresh.stats.misses == 1
     # The bad file was discarded so a rewrite repairs the entry.
-    assert not (tmp_path / "bb" / "bbbb.json").exists()
+    assert not shard.exists()
+
+
+def test_disk_cache_lookup_many_mixed_format_directory(tmp_path):
+    """Legacy JSON shards and compact records resolve side by side."""
+    legacy = DiskCache(tmp_path, format="json")
+    legacy.store_many({"aaaa": _payload(1), "bbbb": _payload(2)})
+    compact = DiskCache(tmp_path)
+    compact.store_many({"cccc": _payload(3), "dddd": _payload(4)})
+    fresh = DiskCache(tmp_path)
+    assert len(fresh) == 4
+    found = fresh.lookup_many(["aaaa", "bbbb", "cccc", "dddd", "eeee"])
+    assert found == {
+        "aaaa": _payload(1),
+        "bbbb": _payload(2),
+        "cccc": _payload(3),
+        "dddd": _payload(4),
+    }
+    assert fresh.stats.hits == 4
+    assert fresh.stats.misses == 1
+    assert fresh.stats.corrupt == 0
+    # Per-key gets resolve both formats too.
+    again = DiskCache(tmp_path)
+    assert again.get("aaaa") == {"value": 1}
+    assert again.get("cccc") == {"value": 3}
+
+
+def test_disk_cache_corrupt_legacy_shard_in_mixed_directory(tmp_path):
+    """A truncated legacy .json next to healthy compact records is
+    tolerated exactly like a corrupt compact record, in get and in
+    lookup_many, with the same stats accounting."""
+    legacy = DiskCache(tmp_path, format="json")
+    legacy.put("aaaa", _payload(1))
+    compact = DiskCache(tmp_path)
+    compact.put("cccc", _payload(3))
+    (tmp_path / "aa" / "aaaa.json").write_text("{truncated", encoding="utf-8")
+    fresh = DiskCache(tmp_path)
+    assert fresh.lookup_many(["aaaa", "cccc"]) == {"cccc": _payload(3)}
+    assert fresh.stats.corrupt == 1
+    assert fresh.stats.misses == 1
+    assert fresh.stats.hits == 1
+    assert not (tmp_path / "aa" / "aaaa.json").exists()
+    other = DiskCache(tmp_path, format="json")
+    other.put("bbbb", _payload(2))
+    (tmp_path / "bb" / "bbbb.json").write_text("[1, 2]", encoding="utf-8")
+    probe = DiskCache(tmp_path)
+    assert probe.get("bbbb") is None
+    assert probe.stats.corrupt == 1
+
+
+def test_disk_cache_corrupt_shard_falls_back_to_healthy_sibling_format(tmp_path):
+    """A corrupt record in one format must not destroy the entry when a
+    healthy shard of the other format exists: only the bad file is
+    discarded, and the probe still resolves."""
+    legacy = DiskCache(tmp_path, format="json")
+    legacy.put("abcd", _payload(1))
+    bad = tmp_path / "ab" / f"abcd{COMPACT_SUFFIX}"
+    bad.write_bytes(COMPACT_MAGIC + b"\x01")  # truncated compact record
+    fresh = DiskCache(tmp_path)  # indexes the newer (corrupt) shard first
+    assert fresh.get("abcd") == {"value": 1}
+    assert fresh.stats.corrupt == 1
+    assert fresh.stats.hits == 1
+    assert fresh.stats.misses == 0
+    assert not bad.exists()  # the corrupt file was discarded...
+    assert (tmp_path / "ab" / "abcd.json").exists()  # ...the healthy one kept
+    assert fresh.lookup_many(["abcd"]) == {"abcd": _payload(1)}
+
+
+def test_disk_cache_put_supersedes_other_format_shard(tmp_path):
+    """Rewriting an entry removes its other-format shard, so one key
+    can never be backed by two live files."""
+    legacy = DiskCache(tmp_path, format="json")
+    legacy.put("abcd", _payload(1))
+    compact = DiskCache(tmp_path)
+    compact.put("abcd", _payload(2))
+    assert not (tmp_path / "ab" / "abcd.json").exists()
+    assert (tmp_path / "ab" / f"abcd{COMPACT_SUFFIX}").exists()
+    assert DiskCache(tmp_path).get("abcd") == {"value": 2}
+    assert len(DiskCache(tmp_path)) == 1
 
 
 def test_disk_cache_lookup_many_sees_sibling_writes(tmp_path):
@@ -205,7 +343,7 @@ def test_disk_cache_lookup_many_tolerates_vanished_file(tmp_path):
     cache = DiskCache(tmp_path)
     cache.put("abcd", _payload(1))
     fresh = DiskCache(tmp_path)  # indexes the entry, mirror still cold
-    (tmp_path / "ab" / "abcd.json").unlink()
+    (tmp_path / "ab" / f"abcd{COMPACT_SUFFIX}").unlink()
     assert fresh.lookup_many(["abcd"]) == {}
     assert fresh.stats.misses == 1
     assert len(fresh) == 0  # the stale index entry is dropped
@@ -255,6 +393,128 @@ def test_evaluation_cache_bulk_falls_back_without_backend_hooks():
     report = CostReport.from_dict({"label": "y", "memories": []})
     shared.store_many({"k1": report, "k2": report})
     assert len(shared.backend) == 3
+
+
+def test_negative_entries_round_trip_through_compact_format(tmp_path):
+    """__infeasible__ markers survive the compact codec on disk, and
+    stats account them exactly like positive entries."""
+    shared = EvaluationCache(path=tmp_path)
+    shared.store_failure("badf", "infeasible corner")
+    data = (tmp_path / "ba" / f"badf{COMPACT_SUFFIX}").read_bytes()
+    assert data.startswith(COMPACT_MAGIC)
+    fresh = EvaluationCache(path=tmp_path)
+    report, error = fresh.lookup("badf")
+    assert report is None and error == "infeasible corner"
+    assert fresh.backend.stats.hits == 1
+    resolved = fresh.lookup_many(["badf", "absent"])
+    assert resolved["badf"] == (None, "infeasible corner")
+    # The second probe was served by the decoded tier, not the backend.
+    assert fresh.decoded_hits == 1
+    assert fresh.backend.stats.hits == 1
+    assert fresh.backend.stats.misses == 1  # "absent"
+
+
+# ----------------------------------------------------------------------
+# The decoded-report tier
+# ----------------------------------------------------------------------
+def test_decoded_tier_absorbs_repeat_probes():
+    shared = EvaluationCache()
+    shared.backend.put("good", {"label": "x", "memories": []})
+    first, _ = shared.lookup("good")
+    assert shared.decoded_hits == 0
+    assert shared.backend.stats.hits == 1
+    second, _ = shared.lookup("good")
+    assert second is first  # the decoded object itself, no re-decode
+    assert shared.decoded_hits == 1
+    assert shared.backend.stats.hits == 1  # backend untouched
+    bulk = shared.lookup_many(["good"])
+    assert bulk["good"][0] is first
+    assert shared.decoded_hits == 2
+    assert shared.backend.stats.hits == 1
+
+
+def test_decoded_tier_filled_by_stores():
+    from repro.costs.report import CostReport
+
+    shared = EvaluationCache()
+    report = CostReport(label="stored")
+    shared.store("fp", report)
+    looked, error = shared.lookup("fp")
+    assert looked is report and error is None
+    assert shared.decoded_hits == 1
+    assert shared.backend.stats.hits == 0  # never probed
+
+    bulk_cache = EvaluationCache()
+    bulk_cache.store_many({"fp1": report, "fp2": report})
+    resolved = bulk_cache.lookup_many(["fp1", "fp2"])
+    assert resolved["fp1"][0] is report and resolved["fp2"][0] is report
+    assert bulk_cache.decoded_hits == 2
+    assert bulk_cache.backend.stats.hits == 0
+
+
+def test_decoded_tier_shares_backend_bound():
+    from repro.costs.report import CostReport
+
+    shared = EvaluationCache(max_entries=2)
+    for index in range(4):
+        shared.store(f"fp{index}", CostReport(label=f"r{index}"))
+    assert shared.decoded_entries == 2
+    # The survivors are the most recently stored, same as the backend.
+    assert shared.lookup("fp3")[0] is not None
+    assert shared.decoded_hits == 1
+    assert len(shared.backend) == 2
+
+
+def test_decoded_tier_cleared_with_cache():
+    shared = EvaluationCache()
+    shared.backend.put("good", {"label": "x", "memories": []})
+    shared.lookup("good")
+    shared.lookup("good")
+    assert shared.decoded_hits == 1
+    shared.clear()
+    assert shared.decoded_entries == 0
+    assert shared.decoded_hits == 0
+    assert shared.lookup("good") == (None, None)
+
+
+def test_stats_dict_reports_decoded_tier():
+    shared = EvaluationCache()
+    shared.backend.put("good", {"label": "x", "memories": []})
+    shared.lookup("good")
+    shared.lookup("good")
+    stats = shared.stats_dict()
+    assert stats["decoded_hits"] == 1
+    assert stats["decoded_entries"] == 1
+
+
+# ----------------------------------------------------------------------
+# Full-result store bound
+# ----------------------------------------------------------------------
+def test_results_store_bounded_with_lru_recency():
+    """The results-leak fix: full PmmResults obey the backend bound."""
+    from repro.costs.report import CostReport
+
+    shared = EvaluationCache(max_entries=2)
+    results = [object() for _ in range(4)]
+    for index, result in enumerate(results[:3]):
+        shared.store(f"fp{index}", CostReport(label=f"r{index}"), result)
+    assert len(shared.results) == 2
+    assert shared.get_result("fp0") is None  # evicted, oldest first
+    assert shared.get_result("fp1") is results[1]  # refreshed recency
+    shared.store("fp3", CostReport(label="r3"), results[3])
+    # fp2 was least recently used after the fp1 touch above.
+    assert shared.get_result("fp2") is None
+    assert shared.get_result("fp1") is results[1]
+    assert shared.get_result("fp3") is results[3]
+
+
+def test_store_result_keeps_first_pinned_result():
+    shared = EvaluationCache()
+    first, second = object(), object()
+    shared.store_result("fp", first)
+    shared.store_result("fp", second)  # deterministic re-run: same content
+    assert shared.get_result("fp") is first
+    assert len(shared.results) == 1
 
 
 # ----------------------------------------------------------------------
@@ -429,9 +689,28 @@ def test_disk_cache_warm_start_across_processes(tmp_path):
     )
     assert "misses=0 hits=4" in warm.stdout
 
-    # The on-disk entries are plain JSON objects under sharded dirs.
-    files = sorted(cache_dir.rglob("*.json"))
+    # The on-disk entries are compact payload records under sharded dirs.
+    files = sorted(cache_dir.rglob(f"*{COMPACT_SUFFIX}"))
     assert len(files) == 4
+    assert sorted(cache_dir.rglob(f"*{JSON_SUFFIX}")) == []
     for file in files:
-        payload = json.loads(file.read_text(encoding="utf-8"))
-        assert isinstance(payload, dict)
+        assert file.read_bytes().startswith(COMPACT_MAGIC)
+
+
+def test_preexisting_json_cache_dir_stays_warm_under_compact(tmp_path):
+    """The migration guarantee: a cache directory written entirely in
+    the legacy JSON format is read by the compact-default codec with
+    zero oracle re-evaluations."""
+    cache_dir = tmp_path / "cache"
+    legacy = Explorer(
+        _space(), cache=EvaluationCache(backend=DiskCache(cache_dir, format="json"))
+    )
+    legacy.run(ExhaustiveSweep())
+    assert legacy.cache.misses == 4
+    assert len(sorted(cache_dir.rglob("*.json"))) == 4
+
+    modern = Explorer(_space(), cache=cache_dir)  # compact-default DiskCache
+    modern.run(ExhaustiveSweep())
+    assert modern.cache.misses == 0
+    assert modern.cache.hits == 4
+    assert modern.cache.backend.stats.corrupt == 0

@@ -201,15 +201,19 @@ def test_duplicate_fresh_points_count_one_miss():
     assert sum(record.seconds for record in records) == records[0].seconds
 
 
-def test_duplicate_cached_points_count_one_backend_hit():
+def test_duplicate_cached_points_count_one_decoded_hit():
     explorer = Explorer(_fir_space())
     point = explorer.space.point("taps8")
     explorer.evaluate(point)
     hits_before = explorer.cache.backend.stats.hits
+    decoded_before = explorer.cache.decoded_hits
     records = explorer.evaluate_many([point, point])
     assert all(record.cache_hit for record in records)
-    assert explorer.cache.hits == 1  # one unique backend resolution
-    assert explorer.cache.backend.stats.hits == hits_before + 1
+    assert explorer.cache.hits == 1  # one unique cache resolution
+    # The store filled the decoded tier, so the warm probe never
+    # reaches the backend: one decoded hit, zero new backend traffic.
+    assert explorer.cache.decoded_hits == decoded_before + 1
+    assert explorer.cache.backend.stats.hits == hits_before
 
 
 # ----------------------------------------------------------------------

@@ -70,19 +70,56 @@ def test_sweep_canonicalizes_each_variant_once(monkeypatch):
         calls.append(type(value).__name__)
         return real(value)
 
-    monkeypatch.setattr(
-        "repro.explore.space.canonical_json", counting
+    # Intercept below the fragment memo: every *actual*
+    # canonicalization is counted, memo hits are not.
+    monkeypatch.setattr(fingerprint_module, "canonical_json", counting)
+    space = DesignSpace(
+        "memo",
+        cycle_budget=50_000,
+        frame_time_s=1e-3,
+        budget_fractions=(1.0, 0.9),
+        onchip_counts=(None, 2),
     )
-    explorer = Explorer.for_app("motion")
-    points = explorer.space.points()
+    space.add_variant("v", build=_tiny_program)
+    explorer = Explorer(space)
+    points = space.points()
+    assert len(points) == 4
     for point in points:
         explorer.fingerprint_point(point, explorer.request_for(point))
     for point in points:  # second sweep: fully memoized
         explorer.fingerprint_point(point, explorer.request_for(point))
     # One canonicalization per variant plus one per library — never per
     # point, never per sweep.
-    expected = len(explorer.space.variants) + len(explorer.space.libraries)
+    expected = len(space.variants) + len(space.libraries)
     assert len(calls) == expected
+
+
+def test_fresh_spaces_share_registry_program_fragments(monkeypatch):
+    """Registry-built spaces share program objects, so a fresh explorer
+    over the same app re-fingerprints without recanonicalizing any
+    program — the process-wide fragment memo serves them."""
+    warm = Explorer.for_app("motion")
+    for point in warm.space.points():
+        warm.fingerprint_point(point, warm.request_for(point))
+
+    calls = []
+    real = fingerprint_module.canonical_json
+
+    def counting(value):
+        calls.append(type(value).__name__)
+        return real(value)
+
+    monkeypatch.setattr(fingerprint_module, "canonical_json", counting)
+    fresh = Explorer.for_app("motion")
+    reference = {}
+    for point in fresh.space.points():
+        request = fresh.request_for(point)
+        reference[point] = fingerprint_request(request)
+    calls.clear()  # the reference path canonicalizes per request
+    for point in fresh.space.points():
+        request = fresh.request_for(point)
+        assert fresh.fingerprint_point(point, request) == reference[point]
+    assert calls.count("Program") == 0
 
 
 def test_add_library_invalidates_memoized_fragment():
@@ -113,20 +150,29 @@ def test_direct_library_mutation_invalidates_memoized_fragment():
     assert after == fingerprint_request(explorer.request_for(point))
 
 
-def test_adhoc_fragment_memo_stays_bounded():
-    """Sessions feeding a fresh program per call must not grow the memo
-    without limit."""
-    explorer = Explorer()
+def test_shared_fragment_memo_stays_bounded():
+    """Sessions feeding a fresh program per call must not grow the
+    process-wide fragment memo without limit."""
+    from repro.explore.fingerprint import (
+        _FRAGMENTS,
+        FRAGMENT_MEMO_ENTRIES,
+        cached_canonical_json,
+    )
+
     keep = []
-    for index in range(Explorer.ADHOC_MEMO_ENTRIES * 3):
+    for index in range(FRAGMENT_MEMO_ENTRIES * 3):
         value = {"step": index}
         keep.append(value)  # keep ids unique while the loop runs
-        explorer._adhoc_fragment(value)
-    assert len(explorer._adhoc_json) == Explorer.ADHOC_MEMO_ENTRIES
+        cached_canonical_json(value)
+    assert len(_FRAGMENTS) == FRAGMENT_MEMO_ENTRIES
     # A live entry is reused, not recomputed into a new slot.
     hot = keep[-1]
-    assert explorer._adhoc_fragment(hot) == canonical_json(hot)
-    assert len(explorer._adhoc_json) == Explorer.ADHOC_MEMO_ENTRIES
+    assert cached_canonical_json(hot) == canonical_json(hot)
+    assert len(_FRAGMENTS) == FRAGMENT_MEMO_ENTRIES
+    # An equal-but-distinct object misses the identity check and
+    # recomputes to the same fragment.
+    clone = dict(hot)
+    assert cached_canonical_json(clone) == cached_canonical_json(hot)
 
 
 def test_fingerprint_from_parts_rejects_nothing_silently():

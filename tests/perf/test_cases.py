@@ -68,3 +68,15 @@ def test_registry_warm_disk_resweep_never_reruns_the_oracle():
     # The on-disk store held every report the re-sweep needed.
     backend_stats = result.cache["backend_stats"]
     assert backend_stats["corrupt"] == 0
+
+
+def test_registry_warm_decoded_resweep_stays_in_the_decoded_tier():
+    """The decoded-tier case: every probe resolves to a live report."""
+    result = run_case(
+        get_case("registry_resweep_warm_decoded"), min_seconds=0.0, max_repeats=1
+    )
+    assert result.evals > 0
+    assert result.cache["misses"] == 0
+    # All warm probes were absorbed by the decoded tier.
+    assert result.cache["decoded_hits"] >= result.cache["hits"] > 0
+    assert "quick" in result.tags and "decoded" in result.tags
