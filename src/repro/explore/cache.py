@@ -126,6 +126,13 @@ class CacheBackend(Protocol):
     deliberately not protocol members: a minimal backend stays valid and
     the engine falls back to per-key ``get``/``put`` when they are
     absent.
+
+    **Thread-safety contract:** backends are *not* required to be
+    internally synchronized.  All engine and service traffic flows
+    through the :class:`~repro.explore.engine.EvaluationCache` facade,
+    whose re-entrant ``lock`` serializes every backend call — that lock
+    is the synchronization.  Code that bypasses the facade and shares a
+    backend across threads must bring its own locking.
     """
 
     stats: CacheStats

@@ -30,6 +30,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -101,6 +102,15 @@ class EvaluationCache:
     cache versus ran through the oracle; the backend's own
     :class:`~repro.explore.cache.CacheStats` counts raw store traffic
     (gets, stores, evictions, corrupt shards).
+
+    The cache is **thread-safe**: every probe, store and counter bump
+    runs under one re-entrant :attr:`lock`, so concurrent explorers (or
+    the :mod:`repro.service` request handlers sharing one process-wide
+    cache) can hammer ``lookup_many``/``store_many`` without corrupting
+    the decoded tier's LRU order or double-counting stats.  Backends
+    are *not* internally synchronized — the lock here is their
+    synchronization, which is why all backend traffic must flow through
+    this facade (see :class:`~repro.explore.cache.CacheBackend`).
     """
 
     def __init__(
@@ -121,6 +131,10 @@ class EvaluationCache:
         self.path = self.backend.root if isinstance(self.backend, DiskCache) else None
         self.max_entries = getattr(self.backend, "max_entries", None)
         self.results: "OrderedDict[str, PmmResult]" = OrderedDict()
+        #: Serializes every probe/store/counter path (and thereby all
+        #: backend access): re-entrant so locked methods can call each
+        #: other, shared by explorers for their counter bumps.
+        self.lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         #: The decoded-report tier: fingerprint -> (report, error),
@@ -131,7 +145,8 @@ class EvaluationCache:
         self.decoded_hits = 0
 
     def __len__(self) -> int:
-        return len(self.backend)
+        with self.lock:
+            return len(self.backend)
 
     #: Payload marker for negatively-cached evaluations (infeasible
     #: points).  Persisting failures means a warm on-disk cache never
@@ -170,7 +185,8 @@ class EvaluationCache:
     @property
     def decoded_entries(self) -> int:
         """Current size of the decoded-report tier."""
-        return len(self._decoded)
+        with self.lock:
+            return len(self._decoded)
 
     # ------------------------------------------------------------------
     # Probes
@@ -183,15 +199,16 @@ class EvaluationCache:
         The decoded tier is consulted first; only a decoded-tier miss
         touches the backend (and the decode it pays fills the tier).
         """
-        entry = self._decoded.get(fingerprint)
-        if entry is not None:
-            self._decoded.move_to_end(fingerprint)
-            self.decoded_hits += 1
-            return entry
-        payload = self.backend.get(fingerprint)
-        if payload is None:
-            return None, None
-        return self._decode_payload(fingerprint, payload)
+        with self.lock:
+            entry = self._decoded.get(fingerprint)
+            if entry is not None:
+                self._decoded.move_to_end(fingerprint)
+                self.decoded_hits += 1
+                return entry
+            payload = self.backend.get(fingerprint)
+            if payload is None:
+                return None, None
+            return self._decode_payload(fingerprint, payload)
 
     def lookup_many(
         self, fingerprints: Sequence[str]
@@ -208,31 +225,32 @@ class EvaluationCache:
         :meth:`~repro.explore.cache.CacheBackend.get` fallback, and
         their decoded entries fill the tier in bulk.
         """
-        decoded = self._decoded
-        resolved: Dict[str, Tuple[Optional[CostReport], Optional[str]]] = {}
-        remaining: List[str] = []
-        for fingerprint in dict.fromkeys(fingerprints):
-            entry = decoded.get(fingerprint)
-            if entry is not None:
-                decoded.move_to_end(fingerprint)
-                self.decoded_hits += 1
-                resolved[fingerprint] = entry
+        with self.lock:
+            decoded = self._decoded
+            resolved: Dict[str, Tuple[Optional[CostReport], Optional[str]]] = {}
+            remaining: List[str] = []
+            for fingerprint in dict.fromkeys(fingerprints):
+                entry = decoded.get(fingerprint)
+                if entry is not None:
+                    decoded.move_to_end(fingerprint)
+                    self.decoded_hits += 1
+                    resolved[fingerprint] = entry
+                else:
+                    remaining.append(fingerprint)
+            if not remaining:
+                return resolved
+            bulk = getattr(self.backend, "lookup_many", None)
+            if bulk is not None:
+                payloads = bulk(remaining)
             else:
-                remaining.append(fingerprint)
-        if not remaining:
+                payloads = {}
+                for fingerprint in remaining:
+                    payload = self.backend.get(fingerprint)
+                    if payload is not None:
+                        payloads[fingerprint] = payload
+            for fingerprint, payload in payloads.items():
+                resolved[fingerprint] = self._decode_payload(fingerprint, payload)
             return resolved
-        bulk = getattr(self.backend, "lookup_many", None)
-        if bulk is not None:
-            payloads = bulk(remaining)
-        else:
-            payloads = {}
-            for fingerprint in remaining:
-                payload = self.backend.get(fingerprint)
-                if payload is not None:
-                    payloads[fingerprint] = payload
-        for fingerprint, payload in payloads.items():
-            resolved[fingerprint] = self._decode_payload(fingerprint, payload)
-        return resolved
 
     def store_many(self, reports: Mapping[str, CostReport]) -> None:
         """Bulk report store, via the backend's ``store_many`` if any."""
@@ -240,14 +258,15 @@ class EvaluationCache:
             fingerprint: report.to_dict()
             for fingerprint, report in reports.items()
         }
-        bulk = getattr(self.backend, "store_many", None)
-        if bulk is not None:
-            bulk(payloads)
-        else:
-            for fingerprint, payload in payloads.items():
-                self.backend.put(fingerprint, payload)
-        for fingerprint, report in reports.items():
-            self._remember(fingerprint, (report, None))
+        with self.lock:
+            bulk = getattr(self.backend, "store_many", None)
+            if bulk is not None:
+                bulk(payloads)
+            else:
+                for fingerprint, payload in payloads.items():
+                    self.backend.put(fingerprint, payload)
+            for fingerprint, report in reports.items():
+                self._remember(fingerprint, (report, None))
 
     def get_report(self, fingerprint: str) -> Optional[CostReport]:
         return self.lookup(fingerprint)[0]
@@ -257,10 +276,11 @@ class EvaluationCache:
         return self.lookup(fingerprint)[1]
 
     def get_result(self, fingerprint: str) -> Optional[PmmResult]:
-        result = self.results.get(fingerprint)
-        if result is not None:
-            self.results.move_to_end(fingerprint)
-        return result
+        with self.lock:
+            result = self.results.get(fingerprint)
+            if result is not None:
+                self.results.move_to_end(fingerprint)
+            return result
 
     def store_result(self, fingerprint: str, result: PmmResult) -> None:
         """Pin a full result, LRU-bounded like every in-memory tier.
@@ -272,16 +292,18 @@ class EvaluationCache:
         its (deterministically identical) result and just refreshes
         recency.
         """
-        if fingerprint not in self.results:
-            self.results[fingerprint] = result
-        self.results.move_to_end(fingerprint)
-        if self.max_entries is not None:
-            while len(self.results) > self.max_entries:
-                self.results.popitem(last=False)
+        with self.lock:
+            if fingerprint not in self.results:
+                self.results[fingerprint] = result
+            self.results.move_to_end(fingerprint)
+            if self.max_entries is not None:
+                while len(self.results) > self.max_entries:
+                    self.results.popitem(last=False)
 
     def store_failure(self, fingerprint: str, error: str) -> None:
-        self.backend.put(fingerprint, {self.FAILURE_KEY: error})
-        self._remember(fingerprint, (None, error))
+        with self.lock:
+            self.backend.put(fingerprint, {self.FAILURE_KEY: error})
+            self._remember(fingerprint, (None, error))
 
     def store(
         self,
@@ -289,35 +311,51 @@ class EvaluationCache:
         report: CostReport,
         result: Optional[PmmResult] = None,
     ) -> None:
-        self.backend.put(fingerprint, report.to_dict())
-        self._remember(fingerprint, (report, None))
-        if result is not None:
-            self.store_result(fingerprint, result)
+        with self.lock:
+            self.backend.put(fingerprint, report.to_dict())
+            self._remember(fingerprint, (report, None))
+            if result is not None:
+                self.store_result(fingerprint, result)
+
+    # ------------------------------------------------------------------
+    # Counters (explorers bump these under the shared lock)
+    # ------------------------------------------------------------------
+    def count_hits(self, n: int = 1) -> None:
+        """Atomically credit ``n`` evaluation-level cache hits."""
+        with self.lock:
+            self.hits += n
+
+    def count_misses(self, n: int = 1) -> None:
+        """Atomically credit ``n`` evaluation-level oracle misses."""
+        with self.lock:
+            self.misses += n
 
     def clear(self) -> None:
-        self.backend.clear()
-        self.results.clear()
-        self._decoded.clear()
-        self.hits = 0
-        self.misses = 0
-        self.decoded_hits = 0
+        with self.lock:
+            self.backend.clear()
+            self.results.clear()
+            self._decoded.clear()
+            self.hits = 0
+            self.misses = 0
+            self.decoded_hits = 0
 
     def stats(self) -> str:
         return f"{len(self.backend)} entries, {self.hits} hits, {self.misses} misses"
 
     def stats_dict(self) -> Dict[str, Any]:
         """Machine-readable counters (perf reports embed this)."""
-        total = self.hits + self.misses
-        return {
-            "entries": len(self.backend),
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": round(self.hits / total, 6) if total else 0.0,
-            "decoded_hits": self.decoded_hits,
-            "decoded_entries": len(self._decoded),
-            "backend": type(self.backend).__name__,
-            "backend_stats": self.backend.stats.to_dict(),
-        }
+        with self.lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self.backend),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": round(self.hits / total, 6) if total else 0.0,
+                "decoded_hits": self.decoded_hits,
+                "decoded_entries": len(self._decoded),
+                "backend": type(self.backend).__name__,
+                "backend_stats": self.backend.stats.to_dict(),
+            }
 
 
 # ----------------------------------------------------------------------
@@ -488,6 +526,13 @@ class Explorer:
         drops infeasible points from the batch instead, recording them
         in :attr:`failures` (a sweep axis routinely contains corners
         the allocator cannot satisfy).
+    retain_records:
+        ``True`` (default) appends every evaluation to :attr:`records`
+        and every skipped point to :attr:`failures` — what strategies
+        and result assembly expect.  ``False`` keeps both lists empty:
+        the mode for long-lived callers (the :mod:`repro.service`
+        server) that stream records straight to clients and must not
+        grow per-request state without bound.
     """
 
     #: Default serial-fallback threshold for parallel miss batches.
@@ -503,6 +548,7 @@ class Explorer:
         area_weight: float = DEFAULT_AREA_WEIGHT,
         seed: int = 0,
         on_error: str = "raise",
+        retain_records: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -520,30 +566,53 @@ class Explorer:
         self.area_weight = area_weight
         self.seed = seed
         self.on_error = on_error
+        self.retain_records = retain_records
         self.records: List[ExplorationRecord] = []
         self.failures: List[Tuple[DesignPoint, str]] = []
         self._seconds: Dict[str, float] = {}
         self._errors: Dict[str, str] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
         self._default_library: Optional[MemoryLibrary] = None
 
     # ------------------------------------------------------------------
     # Pool lifecycle
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
 
     def close(self) -> None:
         """Shut down the persistent worker pool (idempotent).
 
-        The explorer stays usable afterwards — the next parallel batch
-        simply spins up a fresh pool.
+        Safe to call concurrently with an in-flight
+        :meth:`evaluate_many` — a batch that loses its pool mid-flight
+        falls back to the serial path and still completes — and safe to
+        call from several threads at once (each pool is shut down
+        exactly once).  The explorer stays usable afterwards: the next
+        parallel batch simply spins up a fresh pool.
         """
-        pool, self._pool = self._pool, None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Drop a known-bad pool without touching a fresh replacement.
+
+        Concurrent batches can observe the same broken pool; only the
+        first discard clears the attribute, so a new pool spun up by a
+        recovering caller is never torn down by a late discard.
+        """
+        with self._pool_lock:
+            if self._pool is pool:
+                self._pool = None
+        try:
+            pool.shutdown(wait=False)
+        except Exception:  # noqa: BLE001 - the pool is already broken
+            pass
 
     def __enter__(self) -> "Explorer":
         return self
@@ -651,7 +720,7 @@ class Explorer:
                 # per unique fingerprint — in-batch duplicates and
                 # in-batch computations never touch the backend, so
                 # these counters reconcile with the backend's own.
-                self.cache.hits += 1
+                self.cache.count_hits()
                 continue
             if error is None:
                 error = self._errors.get(fingerprint)
@@ -671,9 +740,10 @@ class Explorer:
         for point, request, fingerprint in zip(points, requests, fingerprints):
             report = known.get(fingerprint)
             if report is None:  # failed and on_error == "skip"
-                failure = (point, self._known_error(fingerprint) or "unknown")
-                if failure not in self.failures:
-                    self.failures.append(failure)
+                if self.retain_records:
+                    failure = (point, self._known_error(fingerprint) or "unknown")
+                    if failure not in self.failures:
+                        self.failures.append(failure)
                 continue
             if report.label != request.label:
                 report = dataclasses.replace(report, label=request.label)
@@ -694,7 +764,8 @@ class Explorer:
                 program_name=request.program.name,
             )
             records.append(record)
-        self.records.extend(records)
+        if self.retain_records:
+            self.records.extend(records)
         return records
 
     def _use_pool(self, batch_size: int) -> bool:
@@ -715,7 +786,7 @@ class Explorer:
         computed: Dict[str, CostReport] = {}
         if not fresh:
             return computed
-        self.cache.misses += len(fresh)
+        self.cache.count_misses(len(fresh))
         items = list(fresh.items())
         if self._use_pool(len(items)):
             pool = self._ensure_pool()
@@ -730,9 +801,19 @@ class Explorer:
                         chunksize=chunksize,
                     )
                 )
-            except BrokenProcessPool:
-                self.close()  # the pool is unusable; drop it
-                raise
+            except (BrokenProcessPool, RuntimeError):
+                # BrokenProcessPool: a worker died under the batch.
+                # RuntimeError: the pool was shut down between submit
+                # and map (a concurrent close(), e.g. a draining
+                # service).  Either way the batch must still complete:
+                # drop the dead pool (never a replacement a concurrent
+                # recovering caller already spun up) and rerun this
+                # batch serially — the oracle is deterministic and
+                # stores are idempotent, so recovery is invisible to
+                # the caller beyond the lost parallelism.
+                self._discard_pool(pool)
+                self._evaluate_serially(items, computed)
+                return computed
             failures: List[Tuple[str, PmmRequest, str]] = []
             stored: Dict[str, CostReport] = {}
             for (fingerprint, request), (report, seconds, error) in zip(
@@ -751,22 +832,30 @@ class Explorer:
             for fingerprint, request, error in failures:
                 self._record_failure(fingerprint, request, error)
         else:
-            for fingerprint, request in items:
-                start = time.perf_counter()
-                try:
-                    result = request.run()
-                except Exception as exc:
-                    if self.on_error == "raise":
-                        raise
-                    self._record_failure(
-                        fingerprint, request, f"{type(exc).__name__}: {exc}"
-                    )
-                    continue
-                seconds = time.perf_counter() - start
-                self.cache.store(fingerprint, result.report, result)
-                computed[fingerprint] = result.report
-                self._seconds[fingerprint] = seconds
+            self._evaluate_serially(items, computed)
         return computed
+
+    def _evaluate_serially(
+        self,
+        items: Sequence[Tuple[str, PmmRequest]],
+        computed: Dict[str, CostReport],
+    ) -> None:
+        """The in-process miss path (also the pool-loss recovery path)."""
+        for fingerprint, request in items:
+            start = time.perf_counter()
+            try:
+                result = request.run()
+            except Exception as exc:
+                if self.on_error == "raise":
+                    raise
+                self._record_failure(
+                    fingerprint, request, f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            seconds = time.perf_counter() - start
+            self.cache.store(fingerprint, result.report, result)
+            computed[fingerprint] = result.report
+            self._seconds[fingerprint] = seconds
 
     def _known_error(self, fingerprint: str) -> Optional[str]:
         """This explorer's (or the shared cache's) failure memo."""
@@ -842,9 +931,9 @@ class Explorer:
                 # (LRU-bounded exactly like a stored one).
                 self.cache.store_result(fingerprint, result)
         if hit:
-            self.cache.hits += 1
+            self.cache.count_hits()
         else:
-            self.cache.misses += 1
+            self.cache.count_misses()
             self.cache.store(fingerprint, result.report, result)
         if result.report.label != label:
             result = dataclasses.replace(
@@ -860,7 +949,8 @@ class Explorer:
             step=step,
             program_name=program.name,
         )
-        self.records.append(record)
+        if self.retain_records:
+            self.records.append(record)
         return record, result
 
     # ------------------------------------------------------------------

@@ -27,12 +27,21 @@ cold (pool spin-up included), ``sweep_parallel_warm_pool_cavity``
 measures a batch through an already-warm persistent pool, and
 ``oracle_single_btpc`` tracks the paper demonstrator's heavyweight
 oracle (tagged ``full`` — too slow for the CI quick subset).
+
+``service_concurrent_clients`` load-tests the sweep server: N client
+threads stream overlapping warm-cache cavity sweeps over loopback HTTP
+(single-flight + shared cache guarantee zero oracle re-evaluations) and
+the per-sweep completion latency lands in the report as p50/p95/p99.
+The 2-client ``service_concurrent_clients_quick`` variant carries the
+``quick`` tag for the CI gate; the 8-client case is ``full``-tagged.
 """
 
 from __future__ import annotations
 
+import math
 import shutil
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Tuple
 
@@ -278,6 +287,111 @@ def _registry_resweep_warm_decoded() -> PerfCase:
 
 
 # ----------------------------------------------------------------------
+# Serving explorations: concurrent clients against one warm server
+# ----------------------------------------------------------------------
+def _percentile(sorted_samples: "list[float]", q: float) -> float:
+    """The q-quantile (0..1) of pre-sorted samples, nearest-rank."""
+    index = max(0, math.ceil(q * len(sorted_samples)) - 1)
+    return sorted_samples[index]
+
+
+def _service_concurrent_clients(
+    name: str, n_clients: int, sweeps_per_client: int, tags: Tuple[str, ...]
+) -> PerfCase:
+    """Warm-cache load: N clients stream overlapping cavity sweeps.
+
+    Setup warms the shared cache directly (untimed) and boots a
+    :class:`~repro.service.ServiceThread` on an ephemeral port; the
+    timed window covers only the serving path — admission, single
+    flight, cache probes and NDJSON streaming over loopback HTTP.
+    Per-sweep completion latency lands in the report as p50/p95/p99.
+    """
+
+    def setup() -> Dict[str, Any]:
+        from ..service import ServiceConfig, ServiceThread
+
+        cache = EvaluationCache()
+        Explorer.for_app("cavity", cache=cache, on_error="skip").run(ExhaustiveSweep())
+        server = ServiceThread(
+            ServiceConfig(port=0, batch_size=8, max_inflight_batches=8),
+            cache=cache,
+        ).start()
+        return {"server": server, "cache": cache}
+
+    def run(state: Dict[str, Any]) -> CaseRun:
+        import threading
+
+        from ..service import ServiceClient
+
+        server = state["server"]
+        cache = state["cache"]
+        misses_before = cache.misses
+        latencies: "list[float]" = []
+        lock = threading.Lock()
+        errors: "list[BaseException]" = []
+        barrier = threading.Barrier(n_clients)
+
+        def client_loop() -> None:
+            try:
+                with ServiceClient(*server.address) as client:
+                    barrier.wait(timeout=60)
+                    for _ in range(sweeps_per_client):
+                        start = time.perf_counter()
+                        events = list(client.sweep("cavity"))
+                        elapsed = time.perf_counter() - start
+                        assert events[-1]["type"] == "end"
+                        with lock:
+                            latencies.append(elapsed)
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client_loop) for _ in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        if errors:
+            raise AssertionError(f"client failures: {errors!r}")
+        if cache.misses != misses_before:
+            raise AssertionError(
+                "warm concurrent-client load re-ran the oracle "
+                f"{cache.misses - misses_before} time(s)"
+            )
+        space_points = len(Explorer.for_app("cavity").space)
+        latencies.sort()
+        stats = cache.stats_dict()
+        stats["latency_ms"] = {
+            "clients": n_clients,
+            "sweeps": len(latencies),
+            "p50": round(_percentile(latencies, 0.50) * 1e3, 3),
+            "p95": round(_percentile(latencies, 0.95) * 1e3, 3),
+            "p99": round(_percentile(latencies, 0.99) * 1e3, 3),
+        }
+        return CaseRun(
+            evals=n_clients * sweeps_per_client * space_points,
+            points=space_points,
+            cache=stats,
+            notes=f"{n_clients} concurrent clients x {sweeps_per_client} "
+            "warm cavity sweeps over loopback HTTP (zero oracle "
+            "re-evaluations)",
+        )
+
+    def teardown(state: Any) -> None:
+        if state is not None:
+            state["server"].stop()
+
+    return PerfCase(
+        name=name,
+        run=run,
+        setup=setup,
+        teardown=teardown,
+        tags=tags,
+        description=f"{n_clients} concurrent clients streaming overlapping "
+        "warm-cache cavity sweeps through the service",
+    )
+
+
+# ----------------------------------------------------------------------
 # Registration
 # ----------------------------------------------------------------------
 def register_builtin_cases(replace: bool = False) -> None:
@@ -291,6 +405,18 @@ def register_builtin_cases(replace: bool = False) -> None:
     register_case(_sweep_parallel_warm_pool_cavity(), replace=replace)
     register_case(_registry_sweep_warm_disk(), replace=replace)
     register_case(_registry_resweep_warm_decoded(), replace=replace)
+    register_case(
+        _service_concurrent_clients(
+            "service_concurrent_clients", 8, 3, ("service", "full")
+        ),
+        replace=replace,
+    )
+    register_case(
+        _service_concurrent_clients(
+            "service_concurrent_clients_quick", 2, 2, ("quick", "service")
+        ),
+        replace=replace,
+    )
 
 
 register_builtin_cases(replace=True)

@@ -1,0 +1,40 @@
+"""Exploration-as-a-service: the async sweep server and its client.
+
+The step from "library that sweeps fast" to "system that serves
+traffic": one long-lived process wraps the :mod:`repro.api` engine
+behind an HTTP interface, shares a single warm
+:class:`~repro.api.EvaluationCache` across every client, coalesces
+concurrent identical work (single-flight per fingerprint), batches
+misses onto the persistent worker pool, and streams results back as
+NDJSON while sweeps are still running — with admission control and a
+graceful SIGTERM drain.
+
+* :mod:`repro.service.server` — :class:`ServiceConfig`,
+  :class:`SweepService`, the asyncio HTTP server (:func:`serve`) and
+  the :class:`ServiceThread` embedding facade.
+* :mod:`repro.service.client` — :class:`ServiceClient` /
+  :class:`ServiceError`, the stdlib-only synchronous client.
+* :mod:`repro.service.protocol` — the request/response wire schema.
+* :mod:`repro.service.coalesce` — the single-flight table.
+
+Start a server with ``python -m repro.service`` (see the README's
+"Serving explorations" section for the full schema and knobs).
+"""
+
+from .client import ServiceClient, ServiceError
+from .coalesce import SingleFlight
+from .protocol import PROTOCOL_VERSION, ProtocolError, SweepRequest
+from .server import ServiceConfig, ServiceThread, SweepService, serve
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "SingleFlight",
+    "SweepRequest",
+    "SweepService",
+    "serve",
+]

@@ -1,0 +1,237 @@
+"""Thin synchronous client for the exploration service.
+
+Stdlib-only (:mod:`http.client`), used by the test suite, the CLI
+smoke check and the concurrent-clients load bench.  One client holds
+one persistent HTTP/1.1 connection; a streaming :meth:`sweep` must be
+consumed (or closed) before the next call on the same client —
+abandoning the generator drops the connection and the next request
+transparently reconnects.
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("127.0.0.1", 8642)
+    client.health()                       # {"status": "ok", ...}
+    for event in client.sweep("cavity"):  # NDJSON events as they land
+        if event["type"] == "record":
+            ...
+
+Admission rejections surface as :class:`ServiceError` with the HTTP
+``status``, the error ``code`` from the body, and ``retry_after``
+parsed from the 429 header.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+from ..explore.engine import ExplorationRecord
+from ..explore.space import DesignPoint
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response, with its admission metadata."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retry_after: Optional[int] = None,
+    ) -> None:
+        super().__init__(f"[{status}/{code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+
+def _point_payload(point: Union[DesignPoint, Mapping[str, Any]]) -> Dict[str, Any]:
+    if isinstance(point, DesignPoint):
+        return point.to_dict()
+    return dict(point)
+
+
+class ServiceClient:
+    """One keep-alive connection to a sweep server."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8642, *, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Mapping[str, Any]] = None
+    ) -> http.client.HTTPResponse:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # A dropped keep-alive connection (server restarted, stream
+            # abandoned): reconnect once.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+        if response.status >= 400:
+            raw = response.read()
+            self._raise_for(response, raw)
+        return response
+
+    def _raise_for(self, response: http.client.HTTPResponse, raw: bytes) -> None:
+        code, message = "http_error", raw.decode("utf-8", "replace").strip()
+        try:
+            error = json.loads(raw)["error"]
+            code, message = error.get("code", code), error.get("message", message)
+        except (ValueError, KeyError, TypeError):
+            pass
+        retry_after: Optional[int] = None
+        header = response.getheader("Retry-After")
+        if header is not None:
+            try:
+                retry_after = int(header)
+            except ValueError:
+                pass
+        raise ServiceError(response.status, code, message, retry_after=retry_after)
+
+    def _json_call(
+        self, method: str, path: str, payload: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        response = self._request(method, path, payload)
+        return json.loads(response.read())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._json_call("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._json_call("GET", "/v1/stats")
+
+    def apps(self) -> Dict[str, Any]:
+        return self._json_call("GET", "/v1/apps")["apps"]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sweep_payload(
+        app: str,
+        points: Optional[Sequence[Union[DesignPoint, Mapping[str, Any]]]],
+        variants: Optional[Sequence[str]],
+        budget_fractions: Optional[Sequence[float]],
+        onchip_counts: Optional[Sequence[Optional[int]]],
+        libraries: Optional[Sequence[str]],
+        batch_size: Optional[int],
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"app": app}
+        if points is not None:
+            payload["points"] = [_point_payload(point) for point in points]
+        if variants is not None:
+            payload["variants"] = list(variants)
+        if budget_fractions is not None:
+            payload["budget_fractions"] = list(budget_fractions)
+        if onchip_counts is not None:
+            payload["onchip_counts"] = list(onchip_counts)
+        if libraries is not None:
+            payload["libraries"] = list(libraries)
+        if batch_size is not None:
+            payload["batch_size"] = batch_size
+        return payload
+
+    def evaluate(
+        self, app: str, point: Union[DesignPoint, Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        """Evaluate one point; ``{"record": ...}`` or ``{"failure": ...}``."""
+        return self._json_call(
+            "POST", "/v1/evaluate", {"app": app, "points": [_point_payload(point)]}
+        )
+
+    def sweep(
+        self,
+        app: str,
+        *,
+        points: Optional[Sequence[Union[DesignPoint, Mapping[str, Any]]]] = None,
+        variants: Optional[Sequence[str]] = None,
+        budget_fractions: Optional[Sequence[float]] = None,
+        onchip_counts: Optional[Sequence[Optional[int]]] = None,
+        libraries: Optional[Sequence[str]] = None,
+        batch_size: Optional[int] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream a sweep's NDJSON events as they arrive.
+
+        Yields the raw event dicts (``start``/``record``/``failure``/
+        ``end``).  Closing the generator early abandons the stream (the
+        connection is dropped and rebuilt lazily).
+        """
+        payload = self._sweep_payload(
+            app,
+            points,
+            variants,
+            budget_fractions,
+            onchip_counts,
+            libraries,
+            batch_size,
+        )
+        response = self._request("POST", "/v1/sweep", payload)
+        completed = False
+        try:
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                yield event
+                if event.get("type") == "end":
+                    completed = True
+        finally:
+            if not completed:
+                # Mid-stream abandonment: the connection cannot be
+                # reused for a next request.
+                self.close()
+
+    def sweep_records(self, app: str, **kwargs: Any) -> List[ExplorationRecord]:
+        """Run a sweep to completion and decode its records."""
+        records: List[ExplorationRecord] = []
+        for event in self.sweep(app, **kwargs):
+            if event["type"] == "record":
+                records.append(ExplorationRecord.from_dict(event["record"]))
+        return records

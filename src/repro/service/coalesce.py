@@ -1,0 +1,89 @@
+"""Single-flight coalescing: one oracle evaluation per fingerprint.
+
+Concurrent sweep requests routinely overlap — two clients asking for
+the same app's default space must not run the oracle twice for the
+shared points.  The cache already absorbs *sequential* overlap; the
+:class:`SingleFlight` table absorbs *concurrent* overlap: the first
+request to reach a fingerprint becomes its **owner** and evaluates it,
+every later request becomes a **waiter** on the same future, and the
+owner's outcome — a decoded report *or* a cached failure — fans out to
+all of them.  Failures coalesce exactly like successes: an infeasible
+point evaluated once rejects every waiter with the same message.
+
+The table is **event-loop confined**: claims and resolutions happen on
+the service's loop (never from worker threads), so no locking is
+needed and the claim/await window is race-free by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..costs.report import CostReport
+
+#: The fanned-out outcome of one evaluation: ``(report, None)`` for a
+#: feasible point, ``(None, error)`` for a cached failure.
+Outcome = Tuple[Optional[CostReport], Optional[str]]
+
+
+class SingleFlight:
+    """Fingerprint -> in-flight future table with claim semantics."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, "asyncio.Future[Outcome]"] = {}
+        #: Total waits served by someone else's evaluation.
+        self.coalesced_waits = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def claim(
+        self, fingerprints: Sequence[str]
+    ) -> Tuple[List[str], Dict[str, "asyncio.Future[Outcome]"]]:
+        """Partition a batch into owned and awaited fingerprints.
+
+        Fingerprints with no in-flight evaluation are **claimed**: a
+        future is installed for each and the caller must eventually
+        :meth:`resolve` or :meth:`fail` it (duplicates within the batch
+        are claimed once).  The rest map to the existing futures the
+        caller should await.  Must run on the event loop — no ``await``
+        may occur between partitioning and future installation, which
+        is what makes the claim atomic.
+        """
+        loop = asyncio.get_running_loop()
+        owned: List[str] = []
+        waited: Dict[str, "asyncio.Future[Outcome]"] = {}
+        for fingerprint in dict.fromkeys(fingerprints):
+            future = self._inflight.get(fingerprint)
+            if future is None:
+                self._inflight[fingerprint] = loop.create_future()
+                owned.append(fingerprint)
+            else:
+                waited[fingerprint] = future
+        self.coalesced_waits += len(waited)
+        return owned, waited
+
+    def resolve(self, fingerprint: str, outcome: Outcome) -> None:
+        """Fan an owner's outcome out to every waiter and retire the key."""
+        future = self._inflight.pop(fingerprint, None)
+        if future is not None and not future.done():
+            future.set_result(outcome)
+
+    def fail(self, fingerprint: str, error: BaseException) -> None:
+        """Propagate an owner's *infrastructure* failure to waiters.
+
+        This is for evaluation machinery blowing up (not an infeasible
+        point, which is a normal :meth:`resolve` with an error
+        outcome).  Waiters see the exception; the key is retired so a
+        retry can claim it afresh.
+        """
+        future = self._inflight.pop(fingerprint, None)
+        if future is not None and not future.done():
+            future.set_exception(error)
+
+    async def wait(self, future: "asyncio.Future[Outcome]") -> Outcome:
+        """Await another request's evaluation (shielded from this
+        waiter's cancellation, so a dropped client never cancels work
+        an owner and other waiters still depend on)."""
+        return await asyncio.shield(future)

@@ -1,0 +1,938 @@
+"""The async sweep server: exploration feedback as a shared service.
+
+One long-lived process owns a warm :class:`~repro.api.EvaluationCache`
+(decoded mirror + optional :class:`~repro.explore.cache.DiskCache`
+tiers) and one :class:`~repro.api.Explorer` per registered app, all
+sharing that cache.  Clients POST point-evaluation and sweep requests
+over plain HTTP (stdlib only — ``asyncio.start_server`` plus a minimal
+HTTP/1.1 layer) and receive :class:`~repro.api.ExplorationRecord`\\ s
+back as an NDJSON stream, batch by batch, while the sweep is still
+running.
+
+The interesting machinery sits between the socket and the explorer:
+
+* **single-flight coalescing** (:mod:`repro.service.coalesce`) — the
+  first request to reach a fingerprint evaluates it, concurrent
+  requests for the same fingerprint await that evaluation's future, and
+  the outcome (report *or* cached failure) fans out to all of them.
+  Overlapping sweeps from N clients cost one oracle pass.
+* **request batching** — admitted points are chunked onto
+  :meth:`~repro.api.Explorer.evaluate_many`, so misses ride the
+  explorer's persistent worker pool and bulk cache probes exactly as
+  library sweeps do.
+* **admission control** — per-request point budgets (413), a bounded
+  pool of in-flight points with backpressure (429 + ``Retry-After``),
+  a concurrency cap on oracle batches, and 503 while draining.
+* **graceful shutdown** — SIGTERM/SIGINT stop accepting work, in-flight
+  sweeps drain to completion (bounded by ``drain_seconds``), then the
+  explorer pools shut down.
+
+Run it with ``python -m repro.service``; talk to it with
+:class:`repro.service.client.ServiceClient`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    AsyncIterator,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..apps.registry import get_app, list_apps
+from ..explore.cache import CacheBackend
+from ..explore.engine import EvaluationCache, ExplorationRecord, Explorer
+from ..explore.space import DesignPoint
+from .coalesce import Outcome, SingleFlight
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    SweepRequest,
+    SweepSummary,
+    chunked,
+    end_event,
+    failure_event,
+    record_event,
+    start_event,
+)
+
+__all__ = ["ServiceConfig", "SweepService", "ServiceThread", "serve"]
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every knob of the sweep server, one frozen record.
+
+    The admission-control knobs:
+
+    ``max_points_per_request``
+        Hard per-request budget; larger requests are rejected with 413
+        before any work is admitted.
+    ``max_pending_points``
+        Bound on points admitted across all in-flight requests; a
+        request that would overflow it gets 429 with ``Retry-After:
+        retry_after_seconds``.
+    ``max_inflight_batches``
+        Concurrent oracle batches (each an ``evaluate_many`` call on a
+        worker thread); further batches queue on the semaphore.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    #: Worker processes per app explorer (1 = in-process oracle).
+    workers: int = 1
+    #: DiskCache directory for the shared cache; ``None`` stays in memory.
+    cache_dir: Optional[Union[str, Path]] = None
+    #: Points per ``evaluate_many`` batch (and per stream flush).
+    batch_size: int = 32
+    max_points_per_request: int = 4096
+    max_pending_points: int = 16384
+    max_inflight_batches: int = 4
+    retry_after_seconds: int = 1
+    #: Grace window for in-flight sweeps after a stop signal.
+    drain_seconds: float = 10.0
+    #: Apps to warm eagerly at startup (explorer + space built).
+    preload_apps: Tuple[str, ...] = ()
+
+    def knobs(self) -> Dict[str, Any]:
+        """The admission/batching knobs, surfaced by ``/v1/stats``."""
+        return {
+            "workers": self.workers,
+            "batch_size": self.batch_size,
+            "max_points_per_request": self.max_points_per_request,
+            "max_pending_points": self.max_pending_points,
+            "max_inflight_batches": self.max_inflight_batches,
+            "retry_after_seconds": self.retry_after_seconds,
+            "drain_seconds": self.drain_seconds,
+        }
+
+
+#: One prepared point: (point, fingerprint, program name).
+_Prepared = Tuple[DesignPoint, str, str]
+
+
+# ----------------------------------------------------------------------
+# The service core (transport-independent)
+# ----------------------------------------------------------------------
+class SweepService:
+    """Request handling over shared explorers, cache and flight table.
+
+    All async methods run on one event loop; oracle work is pushed to
+    worker threads via ``asyncio.to_thread`` (the engine's cache lock
+    makes the shared :class:`EvaluationCache` safe there), and the
+    single-flight table stays loop-confined.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig = ServiceConfig(),
+        *,
+        cache: Union[None, EvaluationCache, CacheBackend] = None,
+    ) -> None:
+        self.config = config
+        if isinstance(cache, EvaluationCache):
+            self.cache = cache
+        elif cache is not None:
+            self.cache = EvaluationCache(backend=cache)
+        else:
+            self.cache = EvaluationCache(path=config.cache_dir)
+        self._explorers: Dict[str, Explorer] = {}
+        self._explorer_lock = threading.Lock()
+        self._flight = SingleFlight()
+        self._batch_sem = asyncio.Semaphore(config.max_inflight_batches)
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._request_ids = 0
+        self._active_requests = 0
+        self._pending_points = 0
+        # Lifetime counters for /v1/stats.
+        self.requests_total = 0
+        self.rejected_budget = 0
+        self.rejected_busy = 0
+        self.rejected_draining = 0
+        self.records_served = 0
+        self.failures_served = 0
+        self.points_coalesced = 0
+        for app in config.preload_apps:
+            self.explorer(app)
+
+    # ------------------------------------------------------------------
+    # App state
+    # ------------------------------------------------------------------
+    def explorer(self, app: str) -> Explorer:
+        """The app's long-lived explorer (created on first use).
+
+        Every explorer shares the service cache; ``on_error="skip"``
+        turns infeasible corners into streamable failure events, and
+        ``retain_records=False`` keeps the explorer stateless across
+        requests (records go to clients, not into explorer memory).
+        """
+        with self._explorer_lock:
+            explorer = self._explorers.get(app)
+            if explorer is None:
+                explorer = Explorer.for_app(
+                    app,
+                    cache=self.cache,
+                    workers=self.config.workers,
+                    on_error="skip",
+                    retain_records=False,
+                )
+                self._explorers[app] = explorer
+            return explorer
+
+    def close(self) -> None:
+        """Release every explorer's worker pool (idempotent)."""
+        with self._explorer_lock:
+            explorers = list(self._explorers.values())
+        for explorer in explorers:
+            explorer.close()
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _admit(self, n_points: int) -> None:
+        config = self.config
+        if self._draining:
+            self.rejected_draining += 1
+            raise ProtocolError(
+                "server is draining, not accepting new work",
+                status=503,
+                code="draining",
+            )
+        if n_points > config.max_points_per_request:
+            self.rejected_budget += 1
+            raise ProtocolError(
+                f"request asks for {n_points} points, over the per-request "
+                f"budget of {config.max_points_per_request}",
+                status=413,
+                code="over_budget",
+            )
+        if self._pending_points + n_points > config.max_pending_points:
+            self.rejected_busy += 1
+            raise ProtocolError(
+                f"admitting {n_points} points would exceed the in-flight "
+                f"bound of {config.max_pending_points} "
+                f"({self._pending_points} already admitted); retry later",
+                status=429,
+                code="busy",
+                retry_after=config.retry_after_seconds,
+            )
+        self._pending_points += n_points
+
+    def _release(self, n_points: int) -> None:
+        self._pending_points -= n_points
+
+    def _request_started(self) -> int:
+        self._request_ids += 1
+        self.requests_total += 1
+        self._active_requests += 1
+        return self._request_ids
+
+    def _request_finished(self) -> None:
+        self._active_requests -= 1
+        if self._draining and self._active_requests == 0:
+            self._drained.set()
+
+    # ------------------------------------------------------------------
+    # Drain lifecycle
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop admitting work; in-flight requests run to completion."""
+        self._draining = True
+        if self._active_requests == 0:
+            self._drained.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Await in-flight request completion; False on timeout."""
+        if self._active_requests == 0:
+            return True
+        try:
+            await asyncio.wait_for(self._drained.wait(), timeout)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection payloads
+    # ------------------------------------------------------------------
+    def health_payload(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "protocol": PROTOCOL_VERSION,
+            "apps": list(list_apps()),
+        }
+
+    def apps_payload(self) -> Dict[str, Any]:
+        apps: Dict[str, Any] = {}
+        for name in list_apps():
+            spec = get_app(name)
+            apps[name] = {
+                "title": spec.title,
+                "variants": list(spec.variant_names),
+                "loaded": name in self._explorers,
+            }
+        return {"apps": apps}
+
+    def stats_payload(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "protocol": PROTOCOL_VERSION,
+            "requests": {
+                "total": self.requests_total,
+                "active": self._active_requests,
+                "rejected_budget": self.rejected_budget,
+                "rejected_busy": self.rejected_busy,
+                "rejected_draining": self.rejected_draining,
+            },
+            "points": {
+                "pending": self._pending_points,
+                "records_served": self.records_served,
+                "failures_served": self.failures_served,
+                "coalesced": self.points_coalesced,
+            },
+            "singleflight": {
+                "inflight_keys": len(self._flight),
+                "coalesced_waits": self._flight.coalesced_waits,
+            },
+            "apps": {"loaded": sorted(self._explorers)},
+            "cache": self.cache.stats_dict(),
+            "config": self.config.knobs(),
+        }
+
+    # ------------------------------------------------------------------
+    # Evaluation plumbing
+    # ------------------------------------------------------------------
+    def _prepare(
+        self, explorer: Explorer, points: Sequence[DesignPoint]
+    ) -> List[_Prepared]:
+        """Fingerprint a batch (worker thread: builds programs/requests)."""
+        prepared: List[_Prepared] = []
+        for point in points:
+            request = explorer.request_for(point)
+            fingerprint = explorer.fingerprint_point(point, request)
+            prepared.append((point, fingerprint, request.program.name))
+        return prepared
+
+    async def _evaluate_owned(
+        self,
+        explorer: Explorer,
+        points: Sequence[DesignPoint],
+        fingerprints: Sequence[str],
+    ) -> Dict[str, Tuple[Outcome, Optional[ExplorationRecord]]]:
+        """Run one owned batch and fan its outcomes out to all waiters.
+
+        Runs as its own task so a cancelled (disconnected) owner never
+        strands waiters: the futures claimed here are always resolved
+        or failed, whatever happens to the request that spawned it.
+        """
+        try:
+            async with self._batch_sem:
+                records = await asyncio.to_thread(
+                    explorer.evaluate_many, list(points), "service"
+                )
+        except BaseException as exc:
+            for fingerprint in fingerprints:
+                self._flight.fail(fingerprint, exc)
+            raise
+        by_fingerprint = {record.fingerprint: record for record in records}
+        outcomes: Dict[str, Tuple[Outcome, Optional[ExplorationRecord]]] = {}
+        for fingerprint in fingerprints:
+            record = by_fingerprint.get(fingerprint)
+            if record is not None:
+                outcome: Outcome = (record.report, None)
+            else:
+                # Skipped by the explorer: the failure is negatively
+                # cached, and the decoded mirror serves it loop-cheap.
+                error = self.cache.get_error(fingerprint) or "evaluation failed"
+                outcome = (None, error)
+            self._flight.resolve(fingerprint, outcome)
+            outcomes[fingerprint] = (outcome, record)
+        return outcomes
+
+    async def _batch_events(
+        self,
+        explorer: Explorer,
+        batch: Sequence[DesignPoint],
+        summary: SweepSummary,
+    ) -> List[Dict[str, Any]]:
+        """Evaluate one admitted batch into its stream events."""
+        prepared = await asyncio.to_thread(self._prepare, explorer, batch)
+        owned, waited = self._flight.claim([fp for _, fp, _ in prepared])
+        owned_set = set(owned)
+        first_for: Dict[str, DesignPoint] = {}
+        for point, fingerprint, _ in prepared:
+            first_for.setdefault(fingerprint, point)
+        outcomes: Dict[str, Tuple[Outcome, Optional[ExplorationRecord]]] = {}
+        if owned:
+            task = asyncio.create_task(
+                self._evaluate_owned(explorer, [first_for[fp] for fp in owned], owned)
+            )
+            # Consume the exception if nobody ends up awaiting (the
+            # request got cancelled): waiters already saw it via fail().
+            task.add_done_callback(
+                lambda t: t.exception() if not t.cancelled() else None
+            )
+            # Awaiting the task (rather than the coroutine) means a
+            # cancelled request abandons the wait, not the evaluation.
+            outcomes = await asyncio.shield(task)
+        summary.batches += 1
+        events: List[Dict[str, Any]] = []
+        for point, fingerprint, program_name in prepared:
+            if fingerprint in outcomes:
+                (report, error), record = outcomes[fingerprint]
+                coalesced = False
+            else:
+                report, error = await self._flight.wait(waited[fingerprint])
+                record = None
+                coalesced = True
+                summary.coalesced += 1
+                self.points_coalesced += 1
+            if report is None:
+                summary.failures += 1
+                self.failures_served += 1
+                events.append(failure_event(point, error or "evaluation failed"))
+                continue
+            if record is None or record.point is not point:
+                # A waiter, or an in-batch duplicate of the owned
+                # point: rebuild the record around *this* point's
+                # label; the oracle work happened exactly once.
+                label = point.display_label
+                record = ExplorationRecord(
+                    point=point,
+                    report=(
+                        dataclasses.replace(report, label=label)
+                        if report.label != label
+                        else report
+                    ),
+                    fingerprint=fingerprint,
+                    seconds=0.0,
+                    cache_hit=True,
+                    step="service",
+                    program_name=program_name,
+                )
+            summary.records += 1
+            self.records_served += 1
+            events.append(record_event(record))
+        # Defensive: every claim must retire even if event assembly
+        # above ever grows an early exit.
+        for fingerprint in owned_set - set(outcomes):
+            self._flight.resolve(fingerprint, (None, "internal error"))
+        return events
+
+    async def sweep_events(
+        self, request: SweepRequest
+    ) -> AsyncIterator[Dict[str, Any]]:
+        """The full event stream of one admitted sweep request."""
+        try:
+            explorer = self.explorer(request.app)
+        except KeyError as exc:
+            raise ProtocolError(str(exc), status=404, code="unknown_app") from None
+        points = await asyncio.to_thread(request.resolve_points, explorer.space)
+        if not points:
+            raise ProtocolError("request selects no points", code="empty_request")
+        self._admit(len(points))
+        request_id = self._request_started()
+        try:
+            yield start_event(request.app, request_id, len(points))
+            summary = SweepSummary()
+            batch_size = request.batch_size or self.config.batch_size
+            for batch in chunked(points, batch_size):
+                for event in await self._batch_events(explorer, batch, summary):
+                    yield event
+            summary.cache = self.cache.stats_dict()
+            yield end_event(summary.to_dict())
+        finally:
+            self._release(len(points))
+            self._request_finished()
+
+    async def evaluate_payload(self, request: SweepRequest) -> Dict[str, Any]:
+        """One-point evaluation: a single JSON response body."""
+        events = [event async for event in self.sweep_events(request)]
+        body: Dict[str, Any] = {}
+        for event in events:
+            if event["type"] == "record" and "record" not in body:
+                body["record"] = event["record"]
+            elif event["type"] == "failure" and "failure" not in body:
+                body["failure"] = {
+                    "point": event["point"],
+                    "error": event["error"],
+                }
+            elif event["type"] == "end":
+                body["summary"] = event["summary"]
+        return body
+
+
+# ----------------------------------------------------------------------
+# Minimal HTTP/1.1 layer
+# ----------------------------------------------------------------------
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Request bodies above this are rejected outright.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+MAX_HEADER_LINES = 100
+
+
+@dataclass
+class _HttpRequest:
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def wants_close(self) -> bool:
+        return self.headers.get("connection", "").lower() == "close"
+
+    def json(self) -> Any:
+        if not self.body:
+            raise ProtocolError("request body is empty")
+        try:
+            return json.loads(self.body)
+        except ValueError:
+            raise ProtocolError("request body is not valid JSON") from None
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[_HttpRequest]:
+    try:
+        line = await reader.readline()
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    if not line:
+        return None
+    try:
+        method, path, _version = line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise _HttpError(400, "malformed request line") from None
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADER_LINES):
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise _HttpError(400, "too many headers")
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if length < 0:
+            raise _HttpError(400, "bad Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return None
+    elif headers.get("transfer-encoding"):
+        raise _HttpError(400, "chunked request bodies are not supported")
+    return _HttpRequest(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def _response_head(
+    status: int,
+    *,
+    content_type: str = "application/json",
+    content_length: Optional[int] = None,
+    chunked_body: bool = False,
+    extra: Sequence[Tuple[str, str]] = (),
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+    ]
+    if chunked_body:
+        lines.append("Transfer-Encoding: chunked")
+    elif content_length is not None:
+        lines.append(f"Content-Length: {content_length}")
+    for name, value in extra:
+        lines.append(f"{name}: {value}")
+    lines.append("Connection: keep-alive")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def _send_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Any,
+    *,
+    extra: Sequence[Tuple[str, str]] = (),
+) -> None:
+    body = (json.dumps(payload, ensure_ascii=False) + "\n").encode("utf-8")
+    writer.write(_response_head(status, content_length=len(body), extra=extra) + body)
+    await writer.drain()
+
+
+async def _send_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
+    writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+    await writer.drain()
+
+
+async def _end_chunks(writer: asyncio.StreamWriter) -> None:
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+def _error_extra(error: ProtocolError) -> Sequence[Tuple[str, str]]:
+    if error.retry_after is not None:
+        return (("Retry-After", str(error.retry_after)),)
+    return ()
+
+
+# ----------------------------------------------------------------------
+# Connection handling and the server loop
+# ----------------------------------------------------------------------
+class _ServerState:
+    """One running server: connections, sockets, stop signal."""
+
+    def __init__(self, service: SweepService) -> None:
+        self.service = service
+        self.stop_event = asyncio.Event()
+        self.connections: set = set()
+        self.tasks: set = set()
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self.tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _HttpError as exc:
+                    await _send_json(
+                        writer,
+                        exc.status,
+                        {"error": {"code": "http", "message": str(exc)}},
+                    )
+                    break
+                if request is None:
+                    break
+                try:
+                    await self._dispatch(request, writer)
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                except Exception as exc:  # noqa: BLE001 - connection fenced
+                    # A handler bug or a mid-stream failure: best-effort
+                    # 500 (harmless if the stream already started — the
+                    # connection is dropped either way, so the client
+                    # sees a truncated response, not a hang).
+                    try:
+                        await _send_json(
+                            writer,
+                            500,
+                            {
+                                "error": {
+                                    "code": "internal",
+                                    "message": f"{type(exc).__name__}: {exc}",
+                                }
+                            },
+                        )
+                    except Exception:  # noqa: BLE001
+                        pass
+                    break
+                if request.wants_close or self.service.draining:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange
+        finally:
+            self.connections.discard(writer)
+            if task is not None:
+                self.tasks.discard(task)
+            writer.close()
+
+    async def _dispatch(
+        self, request: _HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        service = self.service
+        route = (request.method, request.path)
+        try:
+            if route == ("GET", "/v1/health"):
+                await _send_json(writer, 200, service.health_payload())
+            elif route == ("GET", "/v1/stats"):
+                await _send_json(writer, 200, service.stats_payload())
+            elif route == ("GET", "/v1/apps"):
+                await _send_json(writer, 200, service.apps_payload())
+            elif route == ("POST", "/v1/evaluate"):
+                await self._handle_evaluate(request, writer)
+            elif route == ("POST", "/v1/sweep"):
+                await self._handle_sweep(request, writer)
+            elif request.path.startswith("/v1/"):
+                status = 405 if request.method not in ("GET", "POST") else 404
+                await _send_json(
+                    writer,
+                    status,
+                    {"error": {"code": "unknown_route", "message": request.path}},
+                )
+            else:
+                await _send_json(
+                    writer,
+                    404,
+                    {"error": {"code": "unknown_route", "message": request.path}},
+                )
+        except ProtocolError as exc:
+            await _send_json(
+                writer, exc.status, exc.to_payload(), extra=_error_extra(exc)
+            )
+
+    async def _handle_evaluate(
+        self, request: _HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        spec = SweepRequest.from_payload(request.json())
+        points = 1 if spec.points is None else len(spec.points)
+        if points != 1:
+            raise ProtocolError(
+                "/v1/evaluate takes exactly one explicit point; "
+                "use /v1/sweep for batches",
+                code="not_single_point",
+            )
+        if spec.points is None:
+            raise ProtocolError(
+                "/v1/evaluate requires an explicit 'points' entry",
+                code="not_single_point",
+            )
+        body = await self.service.evaluate_payload(spec)
+        await _send_json(writer, 200, body)
+
+    async def _handle_sweep(
+        self, request: _HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        spec = SweepRequest.from_payload(request.json())
+        stream = self.service.sweep_events(spec)
+        # Pull the first event before committing to a 200: admission
+        # rejections and validation errors still map to their status.
+        try:
+            first = await anext(stream)
+        except ProtocolError:
+            raise
+        writer.write(
+            _response_head(200, content_type="application/x-ndjson", chunked_body=True)
+        )
+        await writer.drain()
+        try:
+            await _send_chunk(
+                writer, (json.dumps(first, ensure_ascii=False) + "\n").encode("utf-8")
+            )
+            async for event in stream:
+                await _send_chunk(
+                    writer,
+                    (json.dumps(event, ensure_ascii=False) + "\n").encode("utf-8"),
+                )
+        except BaseException:
+            await stream.aclose()
+            raise
+        await _end_chunks(writer)
+
+
+async def serve(
+    service: SweepService,
+    *,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    install_signal_handlers: bool = True,
+    ready: Optional[Any] = None,
+    log: Any = print,
+) -> bool:
+    """Run the server until stopped; returns True on a clean drain.
+
+    ``ready`` (optional) is called with the bound ``(host, port)`` once
+    the socket is listening — the thread facade and tests use it to
+    learn an ephemeral port.  On SIGTERM/SIGINT (or an external
+    ``state.stop_event``) the server stops accepting connections,
+    drains in-flight requests for ``config.drain_seconds``, closes the
+    explorer pools and returns.
+    """
+    config = service.config
+    state = _ServerState(service)
+    server = await asyncio.start_server(
+        state.handle_connection,
+        host if host is not None else config.host,
+        port if port is not None else config.port,
+    )
+    bound = server.sockets[0].getsockname()[:2]
+    if install_signal_handlers:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, state.stop_event.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or unsupported platform
+    if ready is not None:
+        ready(bound, state)
+    log(f"repro.service: serving on http://{bound[0]}:{bound[1]}", flush=True)
+    drained = False
+    try:
+        await state.stop_event.wait()
+        log("repro.service: stop requested, draining in-flight sweeps", flush=True)
+        service.begin_drain()
+        server.close()
+        await server.wait_closed()
+        drained = await service.wait_drained(timeout=config.drain_seconds)
+    finally:
+        service.close()
+        # Settle idle keep-alive connections so their handler tasks
+        # finish before the loop tears down (no cancelled-task noise).
+        for writer in tuple(state.connections):
+            writer.close()
+        if state.tasks:
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*tuple(state.tasks), return_exceptions=True),
+                    timeout=5.0,
+                )
+            except asyncio.TimeoutError:
+                pass
+    if drained:
+        log("repro.service: drained cleanly, shutting down", flush=True)
+    else:
+        log(
+            f"repro.service: drain timed out after {config.drain_seconds:.1f}s",
+            flush=True,
+        )
+    return drained
+
+
+# ----------------------------------------------------------------------
+# Thread facade (tests, the load bench, embedding)
+# ----------------------------------------------------------------------
+class ServiceThread:
+    """A sweep server on a background thread with its own event loop.
+
+    The synchronous face of :func:`serve` for tests and the perf
+    harness::
+
+        with ServiceThread(ServiceConfig(port=0)) as server:
+            client = ServiceClient(*server.address)
+            ...
+
+    ``port=0`` binds an ephemeral port; :attr:`address` reports the
+    real one.  :meth:`stop` triggers the same drain path as SIGTERM.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig = ServiceConfig(),
+        *,
+        cache: Union[None, EvaluationCache, CacheBackend] = None,
+    ) -> None:
+        self.service = SweepService(config, cache=cache)
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._state: Optional[_ServerState] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._drained: Optional[bool] = None
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._address is None:
+            raise RuntimeError("server is not running")
+        return self._address
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    @property
+    def drained(self) -> Optional[bool]:
+        """True/False after :meth:`stop`; None while running."""
+        return self._drained
+
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 30.0) -> "ServiceThread":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("service thread did not become ready")
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        def on_ready(bound: Tuple[str, int], state: _ServerState) -> None:
+            self._address = bound
+            self._state = state
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+
+        try:
+            self._drained = asyncio.run(
+                serve(
+                    self.service,
+                    install_signal_handlers=False,
+                    ready=on_ready,
+                    log=lambda *args, **kwargs: None,
+                )
+            )
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._startup_error = exc
+            self._ready.set()
+
+    def stop(self, timeout: float = 30.0) -> Optional[bool]:
+        """Drain and stop; returns the drain outcome (None if never ran)."""
+        if self._thread is None:
+            return None
+        if self._loop is not None and self._state is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._state.stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("service thread did not stop in time")
+        self._thread = None
+        return self._drained
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

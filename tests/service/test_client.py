@@ -1,0 +1,70 @@
+"""Client-side behavior: connection reuse, recovery, decoding."""
+
+import pytest
+
+from repro.explore.engine import ExplorationRecord
+from repro.service import ServiceClient, ServiceConfig, ServiceError, ServiceThread
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServiceThread(ServiceConfig(port=0, batch_size=4)) as thread:
+        yield thread
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(*server.address) as c:
+        yield c
+
+
+def test_connection_is_reused_across_calls(client):
+    client.health()
+    conn = client._conn
+    client.stats()
+    client.evaluate("cavity", {"variant": "baseline"})
+    assert client._conn is conn
+
+
+def test_abandoned_stream_reconnects(client):
+    stream = client.sweep("cavity", batch_size=1)
+    assert next(stream)["type"] == "start"
+    assert next(stream)["type"] in ("record", "failure")
+    stream.close()  # mid-stream abandonment drops the connection
+    assert client._conn is None
+    assert client.health()["status"] == "ok"  # transparently reconnects
+
+
+def test_sweep_records_decodes(client):
+    records = client.sweep_records(
+        "cavity", variants=["baseline"], onchip_counts=[None]
+    )
+    assert len(records) == 2
+    assert all(isinstance(record, ExplorationRecord) for record in records)
+    assert {record.point.variant for record in records} == {"baseline"}
+
+
+def test_evaluate_accepts_design_point(client):
+    from repro.explore.space import DesignSpace
+
+    point = DesignSpace.for_app("cavity").points()[0]
+    body = client.evaluate("cavity", point)
+    assert body["record"]["point"] == point.to_dict()
+
+
+def test_service_error_carries_metadata(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.evaluate("no-such-app", {"variant": "baseline"})
+    error = excinfo.value
+    assert error.status == 404
+    assert error.code == "unknown_app"
+    assert "no-such-app" in error.message
+    assert "[404/unknown_app]" in str(error)
+
+
+def test_reconnects_after_server_side_close(server, client):
+    # Poke the connection loose by closing it client-side first: the
+    # next request must transparently rebuild it.
+    client.health()
+    client._conn.close()
+    assert client.health()["status"] == "ok"
