@@ -801,16 +801,25 @@ class Explorer:
                         chunksize=chunksize,
                     )
                 )
-            except (BrokenProcessPool, RuntimeError):
+            except (BrokenProcessPool, RuntimeError) as exc:
                 # BrokenProcessPool: a worker died under the batch.
-                # RuntimeError: the pool was shut down between submit
-                # and map (a concurrent close(), e.g. a draining
-                # service).  Either way the batch must still complete:
-                # drop the dead pool (never a replacement a concurrent
-                # recovering caller already spun up) and rerun this
-                # batch serially — the oracle is deterministic and
-                # stores are idempotent, so recovery is invisible to
-                # the caller beyond the lost parallelism.
+                # RuntimeError: recoverable only when the pool was shut
+                # down between submit and map (a concurrent close(),
+                # e.g. a draining service) — map() iteration also
+                # re-raises exceptions from the worker function, and
+                # those must propagate instead of silently discarding
+                # a healthy pool.
+                pool_lost = isinstance(exc, BrokenProcessPool) or (
+                    "shutdown" in str(exc) or getattr(pool, "_broken", False)
+                )
+                if not pool_lost:
+                    raise
+                # The batch must still complete: drop the dead pool
+                # (never a replacement a concurrent recovering caller
+                # already spun up) and rerun this batch serially — the
+                # oracle is deterministic and stores are idempotent, so
+                # recovery is invisible to the caller beyond the lost
+                # parallelism.
                 self._discard_pool(pool)
                 self._evaluate_serially(items, computed)
                 return computed

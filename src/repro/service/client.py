@@ -99,14 +99,29 @@ class ServiceClient:
         conn = self._connection()
         try:
             conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
         except (http.client.HTTPException, ConnectionError, OSError):
-            # A dropped keep-alive connection (server restarted, stream
-            # abandoned): reconnect once.
+            # The send itself failed (dropped keep-alive connection:
+            # server restarted, stream abandoned): nothing reached the
+            # server, so resending once is safe for any method.
             self.close()
             conn = self._connection()
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
+        else:
+            try:
+                response = conn.getresponse()
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                # The request was already on the wire when the
+                # connection died, so it may have been admitted and
+                # executed server-side: only idempotent GETs are safe
+                # to resend (a retried sweep/evaluate POST could be
+                # run twice, double-counting stats and budget).
+                if method != "GET":
+                    raise
+                conn = self._connection()
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
         if response.status >= 400:
             raw = response.read()
             self._raise_for(response, raw)

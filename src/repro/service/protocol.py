@@ -206,6 +206,11 @@ class SweepRequest:
                     )
                 except KeyError as exc:
                     raise ProtocolError(str(exc), code="unknown_axis") from None
+                except ValueError as exc:
+                    # Non-axis validation failures (malformed axis
+                    # values, variant/library resolution errors) are
+                    # still the client's fault: 400, not a 500.
+                    raise ProtocolError(str(exc)) from None
             return validated
         for axis, known in (
             ("variants", space.variant_names),
@@ -220,12 +225,15 @@ class SweepRequest:
                         f"(known: {sorted(known)})",
                         code="unknown_axis",
                     )
-        return space.points(
-            variants=self.variants,
-            budget_fractions=self.budget_fractions,
-            onchip_counts=self.onchip_counts,
-            libraries=self.libraries,
-        )
+        try:
+            return space.points(
+                variants=self.variants,
+                budget_fractions=self.budget_fractions,
+                onchip_counts=self.onchip_counts,
+                libraries=self.libraries,
+            )
+        except (KeyError, ValueError) as exc:
+            raise ProtocolError(str(exc)) from None
 
 
 # ----------------------------------------------------------------------

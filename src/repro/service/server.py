@@ -488,6 +488,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -497,6 +498,12 @@ _REASONS = {
 #: Request bodies above this are rejected outright.
 MAX_BODY_BYTES = 8 * 1024 * 1024
 MAX_HEADER_LINES = 100
+#: Once a request line has arrived, the rest of the request (headers
+#: and body) must land within this window; a half-sent request from a
+#: dead client would otherwise pin its handler task forever.  The wait
+#: *for* a request line is unbounded: idle keep-alive is the normal
+#: state of a persistent client.
+REQUEST_READ_TIMEOUT = 30.0
 
 
 @dataclass
@@ -530,15 +537,31 @@ async def _read_request(reader: asyncio.StreamReader) -> Optional[_HttpRequest]:
         line = await reader.readline()
     except (asyncio.IncompleteReadError, ConnectionError):
         return None
+    except ValueError:
+        # readline() raises once a line overruns the StreamReader
+        # limit (64 KiB by default): a bounded 400, not a dead task.
+        raise _HttpError(400, "request line too long") from None
     if not line:
         return None
     try:
         method, path, _version = line.decode("latin-1").split(None, 2)
     except ValueError:
         raise _HttpError(400, "malformed request line") from None
+    deadline = asyncio.get_running_loop().time() + REQUEST_READ_TIMEOUT
+
+    async def _timed(awaitable: Any) -> Any:
+        remaining = deadline - asyncio.get_running_loop().time()
+        try:
+            return await asyncio.wait_for(awaitable, max(0.0, remaining))
+        except asyncio.TimeoutError:
+            raise _HttpError(408, "timed out reading request") from None
+
     headers: Dict[str, str] = {}
     for _ in range(MAX_HEADER_LINES):
-        raw = await reader.readline()
+        try:
+            raw = await _timed(reader.readline())
+        except ValueError:
+            raise _HttpError(400, "header line too long") from None
         if raw in (b"\r\n", b"\n", b""):
             break
         name, _, value = raw.decode("latin-1").partition(":")
@@ -557,7 +580,7 @@ async def _read_request(reader: asyncio.StreamReader) -> Optional[_HttpRequest]:
         if length > MAX_BODY_BYTES:
             raise _HttpError(413, "request body too large")
         try:
-            body = await reader.readexactly(length)
+            body = await _timed(reader.readexactly(length))
         except asyncio.IncompleteReadError:
             return None
     elif headers.get("transfer-encoding"):
@@ -625,7 +648,24 @@ class _ServerState:
         self.service = service
         self.stop_event = asyncio.Event()
         self.connections: set = set()
+        #: Connections currently serving a request (vs. parked idle in
+        #: keep-alive); drain closes the idle ones immediately.
+        self.busy: set = set()
         self.tasks: set = set()
+
+    def close_idle_connections(self) -> None:
+        """Hang up connections that are not serving a request.
+
+        Idle keep-alive clients sit in ``readline()`` indefinitely;
+        on Python >= 3.12.1 ``server.wait_closed()`` waits for *all*
+        client connections, so shutdown must not hinge on those
+        clients hanging up first.  Busy connections are left alone —
+        their requests drain, then their handlers see ``draining``
+        and close themselves.
+        """
+        for writer in tuple(self.connections):
+            if writer not in self.busy:
+                writer.close()
 
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -647,6 +687,7 @@ class _ServerState:
                     break
                 if request is None:
                     break
+                self.busy.add(writer)
                 try:
                     await self._dispatch(request, writer)
                 except (ConnectionError, asyncio.IncompleteReadError):
@@ -670,12 +711,15 @@ class _ServerState:
                     except Exception:  # noqa: BLE001
                         pass
                     break
+                finally:
+                    self.busy.discard(writer)
                 if request.wants_close or self.service.draining:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-exchange
         finally:
             self.connections.discard(writer)
+            self.busy.discard(writer)
             if task is not None:
                 self.tasks.discard(task)
             writer.close()
@@ -807,12 +851,17 @@ async def serve(
         log("repro.service: stop requested, draining in-flight sweeps", flush=True)
         service.begin_drain()
         server.close()
-        await server.wait_closed()
+        # Hang up idle keep-alive connections *before* any wait on the
+        # server: on Python >= 3.12.1 wait_closed() blocks until every
+        # client connection is gone, so a persistent idle client would
+        # otherwise wedge shutdown forever.  Busy connections drain
+        # below and close themselves.
+        state.close_idle_connections()
         drained = await service.wait_drained(timeout=config.drain_seconds)
     finally:
         service.close()
-        # Settle idle keep-alive connections so their handler tasks
-        # finish before the loop tears down (no cancelled-task noise).
+        # Settle whatever connections remain (drain-timeout stragglers)
+        # so their handler tasks finish before the loop tears down.
         for writer in tuple(state.connections):
             writer.close()
         if state.tasks:
@@ -823,6 +872,12 @@ async def serve(
                 )
             except asyncio.TimeoutError:
                 pass
+        # All connections are down; this is immediate (bounded anyway,
+        # defensively — it must never be able to hang shutdown).
+        try:
+            await asyncio.wait_for(server.wait_closed(), timeout=5.0)
+        except asyncio.TimeoutError:
+            pass
     if drained:
         log("repro.service: drained cleanly, shutting down", flush=True)
     else:

@@ -174,6 +174,38 @@ class _ExplodingPool:
         self.shutdowns += 1
 
 
+class _OracleBugPool:
+    """A healthy pool whose mapped function raises a genuine error."""
+
+    def __init__(self):
+        self.shutdowns = 0
+
+    def map(self, fn, *iterables, chunksize=1):
+        raise RuntimeError("oracle exploded")
+
+    def shutdown(self, wait=True):
+        self.shutdowns += 1
+
+
+def test_worker_runtimeerror_propagates_and_keeps_pool():
+    """A RuntimeError from the worker function is not a dead pool.
+
+    Only shutdown-race RuntimeErrors trigger the serial recovery
+    path; anything else must propagate instead of silently discarding
+    a healthy pool (and losing parallelism for every later batch).
+    """
+    explorer = Explorer.for_app(
+        "cavity", workers=2, min_parallel_batch=2, on_error="skip"
+    )
+    pool = _OracleBugPool()
+    explorer._pool = pool
+    with pytest.raises(RuntimeError, match="oracle exploded"):
+        explorer.evaluate_many(explorer.space.points()[:4], "boom")
+    assert explorer._pool is pool  # not discarded
+    assert pool.shutdowns == 0
+    explorer._pool = None  # drop the fake before close()
+
+
 def test_broken_pool_recovery_under_concurrent_callers():
     """Concurrent batches on a dead pool all recover via the serial path."""
     explorer = Explorer.for_app(

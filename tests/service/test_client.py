@@ -68,3 +68,73 @@ def test_reconnects_after_server_side_close(server, client):
     client.health()
     client._conn.close()
     assert client.health()["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# Retry semantics (scripted fake connections; no server involved)
+# ----------------------------------------------------------------------
+class _FakeResponse:
+    status = 200
+
+    def read(self):
+        return b"{}\n"
+
+    def getheader(self, name):
+        return None
+
+
+class _ScriptedConn:
+    """A fake HTTPConnection that can fail at either phase."""
+
+    def __init__(self, fail_on=None):
+        self.fail_on = fail_on
+        self.requests = []
+
+    def request(self, method, path, body=None, headers=None):
+        if self.fail_on == "send":
+            raise BrokenPipeError("stale keep-alive connection")
+        self.requests.append((method, path))
+
+    def getresponse(self):
+        if self.fail_on == "response":
+            raise ConnectionResetError("connection died awaiting response")
+        return _FakeResponse()
+
+    def close(self):
+        pass
+
+
+def _scripted_client(monkeypatch, conns):
+    client = ServiceClient("127.0.0.1", 1)
+    queue = list(conns)
+    monkeypatch.setattr(client, "_connection", lambda: queue.pop(0))
+    return client
+
+
+def test_post_is_not_retried_once_sent(monkeypatch):
+    # The request reached the wire before the connection died: a
+    # resend could admit and evaluate the same sweep twice, so the
+    # failure must surface to the caller instead.
+    flaky, spare = _ScriptedConn(fail_on="response"), _ScriptedConn()
+    client = _scripted_client(monkeypatch, [flaky, spare])
+    with pytest.raises(ConnectionResetError):
+        client._request("POST", "/v1/sweep", {"app": "cavity"})
+    assert flaky.requests == [("POST", "/v1/sweep")]
+    assert spare.requests == []
+
+
+def test_get_is_retried_after_connection_drop(monkeypatch):
+    flaky, spare = _ScriptedConn(fail_on="response"), _ScriptedConn()
+    client = _scripted_client(monkeypatch, [flaky, spare])
+    assert client._json_call("GET", "/v1/health") == {}
+    assert spare.requests == [("GET", "/v1/health")]
+
+
+def test_failed_send_is_resent_for_any_method(monkeypatch):
+    # Nothing reached the server (the send itself failed on a stale
+    # keep-alive connection), so even a POST is safe to resend once.
+    dead, spare = _ScriptedConn(fail_on="send"), _ScriptedConn()
+    client = _scripted_client(monkeypatch, [dead, spare])
+    assert client._json_call("POST", "/v1/sweep", {"app": "cavity"}) == {}
+    assert dead.requests == []
+    assert spare.requests == [("POST", "/v1/sweep")]

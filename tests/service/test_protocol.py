@@ -124,6 +124,39 @@ class TestResolvePoints:
             request.resolve_points(cavity_space)
         assert excinfo.value.code == "unknown_axis"
 
+    def test_point_valueerror_maps_to_400(self, cavity_space):
+        # Non-KeyError validation failures (malformed axis values,
+        # variant/library resolution errors) are still the client's
+        # fault: a 400 ProtocolError, never a 500.
+        request = SweepRequest.from_payload(
+            {"app": "cavity", "points": [{"variant": "baseline"}]}
+        )
+
+        class VetoSpace:
+            libraries = cavity_space.libraries
+
+            def point(self, *args, **kwargs):
+                raise ValueError("budget_fraction out of range")
+
+        with pytest.raises(ProtocolError) as excinfo:
+            request.resolve_points(VetoSpace())
+        assert excinfo.value.status == 400
+        assert "budget_fraction" in str(excinfo.value)
+
+    def test_axis_product_valueerror_maps_to_400(self, cavity_space):
+        request = SweepRequest.from_payload({"app": "cavity"})
+
+        class VetoSpace:
+            variant_names = cavity_space.variant_names
+            libraries = cavity_space.libraries
+
+            def points(self, **kwargs):
+                raise ValueError("axes out of range")
+
+        with pytest.raises(ProtocolError) as excinfo:
+            request.resolve_points(VetoSpace())
+        assert excinfo.value.status == 400
+
     def test_omitted_library_resolves_to_app_axis(self):
         # motion's libraries carry real names ("frames on-chip"); a
         # point payload that never mentions a library must resolve to

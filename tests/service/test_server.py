@@ -6,6 +6,7 @@ made deterministic by patching ``Explorer.evaluate_many`` — the server
 runs in this process, so a class-level patch reaches its explorers.
 """
 
+import socket
 import threading
 import time
 
@@ -338,6 +339,28 @@ def test_unknown_axis_400(client):
     assert excinfo.value.code == "unknown_axis"
 
 
+def test_oversized_request_line_400(server):
+    # A request line over the StreamReader limit (64 KiB) must come
+    # back as a bounded 400, not kill the handler task with an
+    # unhandled ValueError.
+    with socket.create_connection(server.address, timeout=10) as sock:
+        sock.sendall(b"GET /" + b"x" * (80 * 1024) + b" HTTP/1.1\r\n\r\n")
+        data = sock.recv(4096)
+    assert data.startswith(b"HTTP/1.1 400")
+
+
+def test_half_sent_request_times_out_408(monkeypatch, server):
+    import repro.service.server as server_module
+
+    monkeypatch.setattr(server_module, "REQUEST_READ_TIMEOUT", 0.2)
+    with socket.create_connection(server.address, timeout=10) as sock:
+        # Promise a body, never send it: the read deadline must fire
+        # instead of pinning the handler task forever.
+        sock.sendall(b"POST /v1/sweep HTTP/1.1\r\nContent-Length: 100\r\n\r\n")
+        data = sock.recv(4096)
+    assert data.startswith(b"HTTP/1.1 408")
+
+
 def test_unknown_route_and_method(client):
     with pytest.raises(ServiceError) as excinfo:
         client._json_call("GET", "/v1/nope")
@@ -356,6 +379,17 @@ def test_stop_drains_cleanly():
         list(c.sweep("cavity", variants=["baseline"], onchip_counts=[None]))
     assert thread.drained is None  # still running
     assert thread.stop() is True
+    assert thread.drained is True
+
+
+def test_stop_with_idle_keepalive_client():
+    # Regression: on Python >= 3.12.1, server.wait_closed() blocks
+    # until every client connection is gone — shutdown must hang up
+    # idle keep-alive clients itself, not wait for them.
+    thread = ServiceThread(ServiceConfig(port=0)).start()
+    with ServiceClient(*thread.address) as c:
+        c.health()  # the connection now sits idle in keep-alive
+        assert thread.stop(timeout=30) is True
     assert thread.drained is True
 
 
