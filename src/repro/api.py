@@ -38,7 +38,14 @@ from .costs.report import CostReport, MemoryCost, render_cost_table
 from .dtse.macp import analyze_macp
 from .dtse.pipeline import PmmRequest, PmmResult, run_pmm, run_pmm_request
 from .explore.btpc_study import BtpcStudy
-from .explore.cache import CacheBackend, CacheStats, DiskCache, MemoryCache
+from .explore.cache import (
+    CacheBackend,
+    CacheStats,
+    DiskCache,
+    MemoryCache,
+    RemoteCache,
+    TieredCache,
+)
 from .explore.engine import (
     EvaluationCache,
     ExplorationError,
@@ -92,7 +99,9 @@ __all__ = [
     "Program",
     "ProgramBuilder",
     "ProgramVariant",
+    "RemoteCache",
     "SearchStrategy",
+    "TieredCache",
     "Transform",
     "analyze_macp",
     "canonical_json",

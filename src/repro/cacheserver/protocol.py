@@ -1,0 +1,215 @@
+"""Opcode layer of the cache-tier wire protocol.
+
+One frame = a u32 length prefix plus a body (see
+:func:`repro.costs.report.pack_frame`).  Request bodies start with an
+opcode byte; response bodies start with a status byte.  Payload bytes
+reuse the ``.rpc`` record codec (:func:`~repro.costs.report.pack_payload`
+/ :func:`~repro.costs.report.unpack_payload`) and its wire batch forms,
+so the server and :class:`~repro.explore.cache.RemoteCache` never grow a
+second serialization path.
+
+The first frame on a connection must be ``HELLO`` (magic + protocol
+version); everything after that is stateless request/response::
+
+    client                          server
+    ------                          ------
+    HELLO magic ver     ->
+                        <-          OK {server info record}
+    GET n keys          ->
+                        <-          OK {key -> record} (present only)
+    PUT {key -> record} ->
+                        <-          OK u32 stored
+    LEN                 ->
+                        <-          OK u64 entries
+    CLEAR               ->
+                        <-          OK
+    STATS               ->
+                        <-          OK {stats record}
+
+Anything malformed gets a ``STATUS_ERROR`` body carrying a UTF-8
+message; framing-level violations close the connection.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from ..costs.report import (
+    CompactDecodeError,
+    pack_payload,
+    pack_wire_keys,
+    pack_wire_records,
+    unpack_payload,
+    unpack_wire_keys,
+    unpack_wire_records,
+)
+
+__all__ = [
+    "CACHE_PROTOCOL_VERSION",
+    "HELLO_MAGIC",
+    "OP_HELLO",
+    "OP_GET",
+    "OP_PUT",
+    "OP_LEN",
+    "OP_CLEAR",
+    "OP_STATS",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "WireProtocolError",
+    "RemoteError",
+]
+
+CACHE_PROTOCOL_VERSION = 1
+
+#: Leads every HELLO.  Like the record magic, the first byte is a UTF-8
+#: continuation byte, so no text protocol can collide with it.
+HELLO_MAGIC = b"\x93RCS"
+
+OP_HELLO = 1
+OP_GET = 2
+OP_PUT = 3
+OP_LEN = 4
+OP_CLEAR = 5
+OP_STATS = 6
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+
+class WireProtocolError(ValueError):
+    """A request or response body failed to parse."""
+
+
+class RemoteError(RuntimeError):
+    """The server answered with a ``STATUS_ERROR`` body."""
+
+
+# ----------------------------------------------------------------------
+# Request assembly (client side)
+# ----------------------------------------------------------------------
+def hello_request() -> bytes:
+    return bytes([OP_HELLO]) + HELLO_MAGIC + bytes([CACHE_PROTOCOL_VERSION])
+
+
+def get_request(keys: Sequence[str]) -> bytes:
+    return bytes([OP_GET]) + pack_wire_keys(keys)
+
+
+def put_request(payloads: Mapping[str, Mapping[str, Any]]) -> bytes:
+    return bytes([OP_PUT]) + pack_wire_records(payloads)
+
+
+def len_request() -> bytes:
+    return bytes([OP_LEN])
+
+
+def clear_request() -> bytes:
+    return bytes([OP_CLEAR])
+
+
+def stats_request() -> bytes:
+    return bytes([OP_STATS])
+
+
+# ----------------------------------------------------------------------
+# Request parsing (server side)
+# ----------------------------------------------------------------------
+def parse_request(body: bytes) -> Tuple[int, bytes]:
+    """Split a request body into (opcode, operand bytes)."""
+    if not body:
+        raise WireProtocolError("empty request body")
+    return body[0], body[1:]
+
+
+def parse_hello(operand: bytes) -> int:
+    """Validate a HELLO operand; returns the client's protocol version."""
+    if operand[: len(HELLO_MAGIC)] != HELLO_MAGIC:
+        raise WireProtocolError("bad hello magic")
+    version_bytes = operand[len(HELLO_MAGIC) :]
+    if len(version_bytes) != 1:
+        raise WireProtocolError("malformed hello")
+    version = version_bytes[0]
+    if version != CACHE_PROTOCOL_VERSION:
+        raise WireProtocolError(
+            f"unsupported cache protocol version {version} "
+            f"(server speaks {CACHE_PROTOCOL_VERSION})"
+        )
+    return version
+
+
+def parse_get(operand: bytes) -> List[str]:
+    try:
+        return unpack_wire_keys(operand)
+    except CompactDecodeError as exc:
+        raise WireProtocolError(str(exc)) from None
+
+
+def parse_put(operand: bytes) -> Dict[str, Dict[str, Any]]:
+    try:
+        return unpack_wire_records(operand)
+    except CompactDecodeError as exc:
+        raise WireProtocolError(str(exc)) from None
+
+
+# ----------------------------------------------------------------------
+# Response assembly (server side)
+# ----------------------------------------------------------------------
+def ok_response(payload: bytes = b"") -> bytes:
+    return bytes([STATUS_OK]) + payload
+
+
+def ok_records(payloads: Mapping[str, Mapping[str, Any]]) -> bytes:
+    return ok_response(pack_wire_records(payloads))
+
+
+def ok_count(count: int) -> bytes:
+    return ok_response(_U64.pack(count))
+
+
+def ok_payload(payload: Mapping[str, Any]) -> bytes:
+    return ok_response(pack_payload(payload))
+
+
+def error_response(message: str) -> bytes:
+    return bytes([STATUS_ERROR]) + message.encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Response parsing (client side)
+# ----------------------------------------------------------------------
+def parse_response(body: bytes) -> bytes:
+    """Strip the status byte; raises :class:`RemoteError` on errors."""
+    if not body:
+        raise WireProtocolError("empty response body")
+    status, payload = body[0], body[1:]
+    if status == STATUS_OK:
+        return payload
+    if status == STATUS_ERROR:
+        raise RemoteError(payload.decode("utf-8", "replace"))
+    raise WireProtocolError(f"unknown response status {status}")
+
+
+def parse_records_response(body: bytes) -> Dict[str, Dict[str, Any]]:
+    try:
+        return unpack_wire_records(parse_response(body))
+    except CompactDecodeError as exc:
+        raise WireProtocolError(str(exc)) from None
+
+
+def parse_count_response(body: bytes) -> int:
+    payload = parse_response(body)
+    if len(payload) != _U64.size:
+        raise WireProtocolError("malformed count response")
+    (count,) = _U64.unpack(payload)
+    return count
+
+
+def parse_payload_response(body: bytes) -> Dict[str, Any]:
+    try:
+        return unpack_payload(parse_response(body))
+    except CompactDecodeError as exc:
+        raise WireProtocolError(str(exc)) from None

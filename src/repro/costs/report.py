@@ -13,6 +13,12 @@ marker) to a small self-describing struct-packed record with a
 magic+version header.  Payloads that do not match a known shape fall
 back to an embedded JSON record, so the codec round-trips *any*
 JSON-object payload a cache backend is handed.
+
+The same records are the unit of transfer for the network cache tier:
+the **wire framing** helpers at the bottom (:func:`pack_frame`,
+:func:`pack_wire_keys`, :func:`pack_wire_records` and their inverses)
+are the length-prefixed transport primitives :mod:`repro.cacheserver`
+and :class:`~repro.explore.cache.RemoteCache` speak to each other.
 """
 
 from __future__ import annotations
@@ -404,6 +410,105 @@ def unpack_payload(data: bytes) -> Dict[str, Any]:
         raise
     except (struct.error, UnicodeDecodeError, ValueError) as exc:
         raise CompactDecodeError(f"compact record unreadable: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Wire framing (the network cache tier's transport primitives)
+# ----------------------------------------------------------------------
+#: Hard bound on one wire frame's body.  Generous for cache traffic (a
+#: whole sweep's records fit in well under a MiB) while keeping a
+#: corrupt or hostile length prefix from provoking a giant allocation.
+FRAME_MAX_BYTES = 64 * 1024 * 1024
+
+_FRAME_LEN = _U32
+
+
+class FrameError(ValueError):
+    """A wire frame failed to validate (length prefix out of bounds)."""
+
+
+def pack_frame(body: bytes) -> bytes:
+    """Prefix ``body`` with its little-endian u32 length."""
+    if len(body) > FRAME_MAX_BYTES:
+        raise FrameError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{FRAME_MAX_BYTES}-byte bound"
+        )
+    return _FRAME_LEN.pack(len(body)) + body
+
+
+def frame_length(header: bytes) -> int:
+    """Decode and validate a 4-byte frame header into its body length."""
+    if len(header) != _FRAME_LEN.size:
+        raise FrameError(
+            f"frame header must be {_FRAME_LEN.size} bytes, got {len(header)}"
+        )
+    (length,) = _FRAME_LEN.unpack(header)
+    if length > FRAME_MAX_BYTES:
+        raise FrameError(
+            f"frame announces {length} bytes, over the "
+            f"{FRAME_MAX_BYTES}-byte bound"
+        )
+    return length
+
+
+def pack_wire_keys(keys: Sequence[str]) -> bytes:
+    """Encode a key batch (u32 count + length-prefixed UTF-8 strings)."""
+    out: List[bytes] = [_U32.pack(len(keys))]
+    for key in keys:
+        _pack_str(out, key)
+    return b"".join(out)
+
+
+def unpack_wire_keys(data: bytes, offset: int = 0) -> List[str]:
+    """Decode a key batch; raises :class:`CompactDecodeError` when short."""
+    try:
+        reader = _Reader(data, offset)
+        (count,) = reader.unpack(_U32)
+        keys = [reader.read_str() for _ in range(count)]
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise CompactDecodeError(f"wire key batch unreadable: {exc}") from None
+    if reader.offset != len(data):
+        raise CompactDecodeError("trailing bytes after wire key batch")
+    return keys
+
+
+def pack_wire_records(payloads: Mapping[str, Mapping[str, Any]]) -> bytes:
+    """Encode key -> payload entries, each value one compact record.
+
+    This is the cache tier's bulk transfer unit: the values are exactly
+    :func:`pack_payload` records, so anything a cache backend stores —
+    typed reports, ``__infeasible__`` negatives, generic JSON payloads —
+    crosses the wire without a separate serialization path.
+    """
+    out: List[bytes] = [_U32.pack(len(payloads))]
+    for key, payload in payloads.items():
+        _pack_str(out, key)
+        blob = pack_payload(payload)
+        out.append(_U32.pack(len(blob)))
+        out.append(blob)
+    return b"".join(out)
+
+
+def unpack_wire_records(data: bytes, offset: int = 0) -> Dict[str, Dict[str, Any]]:
+    """Decode a key -> payload batch packed by :func:`pack_wire_records`."""
+    records: Dict[str, Dict[str, Any]] = {}
+    try:
+        reader = _Reader(data, offset)
+        (count,) = reader.unpack(_U32)
+        for _ in range(count):
+            key = reader.read_str()
+            (length,) = reader.unpack(_U32)
+            end = reader.offset + length
+            if end > len(data):
+                raise CompactDecodeError("wire record batch is truncated")
+            records[key] = unpack_payload(data[reader.offset : end])
+            reader.offset = end
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise CompactDecodeError(f"wire record batch unreadable: {exc}") from None
+    if reader.offset != len(data):
+        raise CompactDecodeError("trailing bytes after wire record batch")
+    return records
 
 
 def render_cost_table(

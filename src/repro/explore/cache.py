@@ -16,6 +16,23 @@ evaluation under a content-addressed fingerprint.  This module owns
   decoding; legacy ``.json`` shards remain readable transparently, so
   existing cache directories stay valid (``format="json"`` keeps
   writing them).
+* :class:`RemoteCache` — the **network tier**: a client for the
+  :mod:`repro.cacheserver` server, so sweeps stay warm across
+  *machines*.  Probes batch into single wire round trips; stores are
+  **write-behind** (a background flusher drains them, the sweep hot
+  path never blocks on the network); when the server is unreachable,
+  reads fall through to an optional local ``fallback`` backend and
+  stores land there too.
+* :class:`TieredCache` — composes backends into one read-through /
+  write-through stack (e.g. bounded memory mirror → remote → disk):
+  probes walk the tiers in order and promote hits upward, stores fan
+  out to every tier.
+
+``resolve_backend`` understands ``remote://host:port`` URLs (with an
+optional ``/local/fallback/dir`` path suffix), so
+``Explorer(cache="remote://...")`` and ``python -m repro.service
+--cache remote://...`` plug whole worker fleets into one shared warm
+corpus.
 
 Both implement the :class:`CacheBackend` protocol and expose a
 :class:`CacheStats` counter block (hits, misses, stores, evictions,
@@ -39,7 +56,10 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import tempfile
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -57,9 +77,13 @@ from typing import (
     runtime_checkable,
 )
 
+from ..cacheserver import protocol as wire
 from ..costs.report import (
     CompactDecodeError,
+    FrameError,
+    frame_length,
     is_compact_payload,
+    pack_frame,
     pack_payload,
     unpack_payload,
 )
@@ -242,7 +266,12 @@ class DiskCache:
 
     A read-through in-memory mirror makes repeated gets within one
     process dictionary-cheap; ``max_entries`` (optional) bounds the
-    number of *on-disk* entries with least-recently-stored eviction.
+    number of *on-disk* entries with least-recently-stored eviction
+    **and** the mirror itself with least-recently-used eviction —
+    reads fill the mirror, so without its own bound a long-lived
+    process re-reading a large corpus would grow memory without limit
+    (mirror eviction drops only the in-memory copy, never the shard
+    file).
     """
 
     #: Read preference when a key exists in both formats (a legacy
@@ -264,7 +293,8 @@ class DiskCache:
         self.max_entries = max_entries
         self.format = format
         self.stats = CacheStats()
-        self._mirror: Dict[str, Dict[str, Any]] = {}
+        #: Decoded payloads, LRU-ordered, bounded by ``max_entries``.
+        self._mirror: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         #: key -> shard suffix, in least-recently-stored-first order.
         self._known: "OrderedDict[str, str]" = OrderedDict()
         self.root.mkdir(parents=True, exist_ok=True)
@@ -297,11 +327,31 @@ class DiskCache:
         return iter(tuple(self._known))
 
     # ------------------------------------------------------------------
+    def _remember_mirror(self, key: str, payload: Dict[str, Any]) -> None:
+        """Mirror a decoded payload with LRU recency under the bound."""
+        mirror = self._mirror
+        mirror[key] = payload
+        mirror.move_to_end(key)
+        if self.max_entries is not None:
+            while len(mirror) > self.max_entries:
+                mirror.popitem(last=False)
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         payload = self._mirror.get(key)
         if payload is not None:
+            self._mirror.move_to_end(key)
             self.stats.hits += 1
             return payload
+        if key not in self._known:
+            # Route the miss through the directory index exactly like
+            # ``lookup_many``: one refresh (absorbing sibling writes),
+            # then indexed-only reads — instead of blindly probing
+            # both suffix files with two failed read syscalls on every
+            # repeated negative lookup.
+            self._refresh_known()
+            if key not in self._known:
+                self.stats.misses += 1
+                return None
         return self._load(key)
 
     @staticmethod
@@ -347,7 +397,7 @@ class DiskCache:
                 self.stats.corrupt += 1
                 self._unlink(path)
                 continue
-            self._mirror[key] = payload
+            self._remember_mirror(key, payload)
             # Plain assignment: appends unindexed keys, keeps the
             # recency slot of already-indexed ones.
             self._known[key] = suffix
@@ -402,6 +452,7 @@ class DiskCache:
         for key in unique:
             payload = self._mirror.get(key)
             if payload is not None:
+                self._mirror.move_to_end(key)
                 self.stats.hits += 1
                 found[key] = payload
                 continue
@@ -444,7 +495,7 @@ class DiskCache:
             # versa): two live files for one key would shadow updates.
             if other != suffix:
                 self._unlink(self._file(key, other))
-        self._mirror[key] = dict(payload)
+        self._remember_mirror(key, dict(payload))
         self._known.pop(key, None)
         self._known[key] = suffix
         self.stats.stores += 1
@@ -488,29 +539,594 @@ class DiskCache:
                     pass  # non-empty (a sibling raced a write) or busy
 
 
+# ----------------------------------------------------------------------
+# The network tier
+# ----------------------------------------------------------------------
+class RemoteCacheError(RuntimeError):
+    """The cache server could not be reached (or the stream broke)."""
+
+
+class RemoteCache:
+    """Client backend for the :mod:`repro.cacheserver` network tier.
+
+    Implements the full :class:`CacheBackend` protocol over one
+    persistent TCP connection speaking the compact length-prefixed
+    wire protocol (the ``.rpc`` record codec end to end):
+
+    * :meth:`lookup_many` is **one** batched ``GET`` round trip for a
+      whole sweep's fingerprints; :meth:`get` is the one-key case.
+    * :meth:`put`/:meth:`store_many` are **write-behind**: entries land
+      in a bounded in-memory queue and a background flusher pushes them
+      in batches, so the sweep hot path never blocks on the network.
+      Queued entries are visible to this process's reads immediately
+      (read-your-writes), and :meth:`flush` drains the queue on demand.
+    * When the server is unreachable, reads fall through to the
+      optional ``fallback`` backend (typically a local
+      :class:`DiskCache`) and queued stores are flushed there instead,
+      so a sweep keeps its warm corpus across a server outage.
+      Connection attempts back off for ``retry_seconds`` between
+      failures.
+
+    Like every backend, instances are not internally synchronized
+    against *callers* — the :class:`~repro.explore.engine.
+    EvaluationCache` facade lock serializes backend traffic — but the
+    internal flusher thread is coordinated with its own locks, so the
+    write-behind path is safe by construction.
+    """
+
+    DEFAULT_PORT = 8712
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        fallback: Optional[CacheBackend] = None,
+        timeout: float = 5.0,
+        retry_seconds: float = 1.0,
+        write_behind: bool = True,
+        max_pending: int = 4096,
+        flush_batch: int = 512,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if flush_batch < 1:
+            raise ValueError("flush_batch must be >= 1")
+        self.host = host
+        self.port = port
+        self.fallback = fallback
+        self.timeout = timeout
+        self.retry_seconds = retry_seconds
+        self.write_behind = write_behind
+        self.max_pending = max_pending
+        self.flush_batch = flush_batch
+        #: Remote stores are unbounded from the client's point of view
+        #: (the server owns any entry bound).
+        self.max_entries: Optional[int] = None
+        self.stats = CacheStats()
+        self._sock: Optional[socket.socket] = None
+        #: Serializes the socket (foreground probes vs. the flusher).
+        self._io_lock = threading.Lock()
+        #: Guards ``_pending``/``_down_until``/``_closed``; the
+        #: condition wakes the flusher on new stores.
+        self._state_lock = threading.Lock()
+        self._flush_wakeup = threading.Condition(self._state_lock)
+        self._pending: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._down_until = 0.0
+        self._closed = False
+        self._flusher: Optional[threading.Thread] = None
+        #: The fallback backend is shared between foreground reads and
+        #: the flusher's outage writes; backends bring no locking of
+        #: their own.
+        self._fallback_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Socket plumbing
+    # ------------------------------------------------------------------
+    def _recv_exact(self, sock: socket.socket, n: int) -> bytes:
+        chunks: List[bytes] = []
+        remaining = n
+        while remaining:
+            chunk = sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError("cache server closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _read_frame(self, sock: socket.socket) -> bytes:
+        length = frame_length(self._recv_exact(sock, 4))
+        return self._recv_exact(sock, length) if length else b""
+
+    def _connect_locked(self) -> socket.socket:
+        sock = socket.create_connection((self.host, self.port), self.timeout)
+        try:
+            sock.sendall(pack_frame(wire.hello_request()))
+            wire.parse_payload_response(self._read_frame(sock))
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+        return sock
+
+    def _close_socket_locked(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _rpc(self, body: bytes) -> bytes:
+        """One request/response round trip, marking outages as it goes.
+
+        Raises :class:`RemoteCacheError` when the server is unreachable
+        (or inside its retry cooldown after a failure); raises
+        :class:`repro.cacheserver.protocol.RemoteError` when the server
+        itself rejected the request.
+        """
+        with self._state_lock:
+            if time.monotonic() < self._down_until:
+                raise RemoteCacheError(
+                    f"cache server {self.host}:{self.port} is in its "
+                    "retry cooldown"
+                )
+        with self._io_lock:
+            try:
+                sock = self._sock if self._sock is not None else self._connect_locked()
+                sock.sendall(pack_frame(body))
+                return self._read_frame(sock)
+            except (OSError, FrameError, wire.WireProtocolError) as exc:
+                self._close_socket_locked()
+                with self._state_lock:
+                    self._down_until = time.monotonic() + self.retry_seconds
+                raise RemoteCacheError(
+                    f"cache server {self.host}:{self.port} unreachable: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+
+    def server_available(self) -> bool:
+        """One live round trip (HELLO-equivalent LEN); False on outage."""
+        try:
+            self._rpc(wire.len_request())
+        except (RemoteCacheError, wire.RemoteError):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self.lookup_many((key,)).get(key)
+
+    def lookup_many(self, keys: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+        """Bulk probe: queued writes, then one wire round trip.
+
+        Keys still sitting in the write-behind queue resolve locally
+        (read-your-writes); the rest go to the server in a single
+        ``GET`` frame, falling through to the ``fallback`` backend when
+        the server is unreachable.
+        """
+        unique = dict.fromkeys(keys)
+        found: Dict[str, Dict[str, Any]] = {}
+        remaining: List[str] = []
+        with self._state_lock:
+            for key in unique:
+                payload = self._pending.get(key)
+                if payload is not None:
+                    found[key] = dict(payload)
+                else:
+                    remaining.append(key)
+        self.stats.hits += len(found)
+        if not remaining:
+            return found
+        records: Optional[Dict[str, Dict[str, Any]]] = None
+        try:
+            records = wire.parse_records_response(
+                self._rpc(wire.get_request(remaining))
+            )
+        except (RemoteCacheError, wire.RemoteError):
+            if self.fallback is not None:
+                records = self._fallback_lookup(remaining)
+        if records is None:
+            records = {}
+        for key in remaining:
+            payload = records.get(key)
+            if payload is not None:
+                found[key] = payload
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+        return found
+
+    def _fallback_lookup(self, keys: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+        with self._fallback_lock:
+            bulk = getattr(self.fallback, "lookup_many", None)
+            if bulk is not None:
+                return bulk(keys)
+            found: Dict[str, Dict[str, Any]] = {}
+            for key in keys:
+                payload = self.fallback.get(key)
+                if payload is not None:
+                    found[key] = payload
+            return found
+
+    # ------------------------------------------------------------------
+    # Writes (write-behind)
+    # ------------------------------------------------------------------
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        self.store_many({key: payload})
+
+    def store_many(self, payloads: Mapping[str, Mapping[str, Any]]) -> None:
+        entries = {key: dict(payload) for key, payload in payloads.items()}
+        if not entries:
+            return
+        self.stats.stores += len(entries)
+        if not self.write_behind:
+            self._push(entries)
+            return
+        with self._flush_wakeup:
+            if self._closed:
+                raise RuntimeError("RemoteCache is closed")
+            for key, payload in entries.items():
+                self._pending[key] = payload
+                self._pending.move_to_end(key)
+            overflow = len(self._pending) > self.max_pending
+            self._ensure_flusher_locked()
+            self._flush_wakeup.notify_all()
+        if overflow:
+            # The queue bound is the hot path's memory protection:
+            # drain synchronously rather than grow without limit.
+            self.flush()
+
+    def _ensure_flusher_locked(self) -> None:
+        if self._flusher is None or not self._flusher.is_alive():
+            self._flusher = threading.Thread(
+                target=self._flush_loop, name="repro-remote-cache-flush", daemon=True
+            )
+            self._flusher.start()
+
+    def _take_batch_locked(self) -> Dict[str, Dict[str, Any]]:
+        batch: Dict[str, Dict[str, Any]] = {}
+        while self._pending and len(batch) < self.flush_batch:
+            key, payload = self._pending.popitem(last=False)
+            batch[key] = payload
+        return batch
+
+    def _push(self, entries: Mapping[str, Dict[str, Any]]) -> bool:
+        """Land a batch server-side, or on the fallback during outages.
+
+        Returns False only when the entries could not be stored
+        anywhere (server down, no fallback) — the caller decides
+        whether to re-queue them.
+        """
+        try:
+            wire.parse_count_response(self._rpc(wire.put_request(entries)))
+            return True
+        except (RemoteCacheError, wire.RemoteError):
+            if self.fallback is None:
+                return False
+            with self._fallback_lock:
+                bulk = getattr(self.fallback, "store_many", None)
+                if bulk is not None:
+                    bulk(entries)
+                else:
+                    for key, payload in entries.items():
+                        self.fallback.put(key, payload)
+            return True
+
+    def _requeue(self, entries: Dict[str, Dict[str, Any]]) -> None:
+        with self._flush_wakeup:
+            # Undelivered entries go back to the *front* (oldest-first
+            # order is preserved for the next attempt); the bound still
+            # holds — beyond it the oldest entries are dropped and
+            # counted as evictions.
+            fresh = self._pending
+            self._pending = OrderedDict(entries)
+            self._pending.update(fresh)
+            while len(self._pending) > self.max_pending:
+                self._pending.popitem(last=False)
+                self.stats.evictions += 1
+
+    def _flush_loop(self) -> None:
+        while True:
+            with self._flush_wakeup:
+                while not self._pending and not self._closed:
+                    self._flush_wakeup.wait()
+                if not self._pending:
+                    return  # closed and drained
+                batch = self._take_batch_locked()
+            if not self._push(batch):
+                self._requeue(batch)
+                with self._flush_wakeup:
+                    if self._closed:
+                        return
+                    # Back off until the cooldown passes (an incoming
+                    # store or close() wakes the wait early).
+                    self._flush_wakeup.wait(self.retry_seconds)
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Drain the write-behind queue now.
+
+        Returns True once every queued entry has landed (server or
+        fallback); False if the server is unreachable with no fallback
+        to absorb the queue, or the timeout expired first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._state_lock:
+                if not self._pending:
+                    return True
+                batch = self._take_batch_locked()
+            if not self._push(batch):
+                self._requeue(batch)
+                if deadline is None:
+                    return False
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                # The retry cooldown (possibly refreshed by the
+                # background flusher's own attempts) blocks immediate
+                # retries; spend the timeout budget waiting it out —
+                # a restarted server is reached on a later pass.
+                time.sleep(min(self.retry_seconds, remaining))
+                continue
+            if deadline is not None and time.monotonic() > deadline:
+                with self._state_lock:
+                    drained = not self._pending
+                return drained
+
+    # ------------------------------------------------------------------
+    # The rest of the protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        try:
+            return wire.parse_count_response(self._rpc(wire.len_request()))
+        except (RemoteCacheError, wire.RemoteError):
+            with self._state_lock:
+                pending = len(self._pending)
+            if self.fallback is not None:
+                with self._fallback_lock:
+                    return len(self.fallback)
+            return pending
+
+    def server_stats(self) -> Dict[str, Any]:
+        """The server's live counter payload (one ``STATS`` round trip)."""
+        return wire.parse_payload_response(self._rpc(wire.stats_request()))
+
+    def clear(self) -> None:
+        """Drop queued writes, the server corpus, and the fallback.
+
+        A clear during an outage still clears the local side; the
+        server is cleared on a best-effort basis (it may keep its
+        corpus until it is reachable again).
+        """
+        with self._state_lock:
+            self._pending.clear()
+        try:
+            wire.parse_response(self._rpc(wire.clear_request()))
+        except (RemoteCacheError, wire.RemoteError):
+            pass
+        if self.fallback is not None:
+            with self._fallback_lock:
+                self.fallback.clear()
+        self.stats.reset()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Flush what the window allows, stop the flusher, hang up."""
+        self.flush(timeout=timeout)
+        with self._flush_wakeup:
+            self._closed = True
+            flusher = self._flusher
+            self._flush_wakeup.notify_all()
+        if flusher is not None and flusher.is_alive():
+            flusher.join(timeout)
+        with self._io_lock:
+            self._close_socket_locked()
+
+    def __enter__(self) -> "RemoteCache":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Tier composition
+# ----------------------------------------------------------------------
+class TieredCache:
+    """Read-through / write-through composition of cache backends.
+
+    ``TieredCache((MemoryCache(max_entries=512), RemoteCache(...),
+    DiskCache(...)))`` is the disaggregated-memory shape: a small local
+    hot set in front, the shared network corpus behind it, a durable
+    disk tier at the back.  Probes walk the tiers front to back and
+    **promote** hits into every tier above the one that answered;
+    stores fan out to all tiers (the remote tier's own write-behind
+    keeps that non-blocking).  ``max_entries`` reports the front tier's
+    bound — that is the hot set the
+    :class:`~repro.explore.engine.EvaluationCache` decoded mirror
+    should share.
+    """
+
+    def __init__(self, tiers: Sequence[CacheBackend]) -> None:
+        if not tiers:
+            raise ValueError("TieredCache needs at least one tier")
+        self.tiers: Tuple[CacheBackend, ...] = tuple(tiers)
+        self.stats = CacheStats()
+
+    @property
+    def max_entries(self) -> Optional[int]:
+        return getattr(self.tiers[0], "max_entries", None)
+
+    def __len__(self) -> int:
+        # The deepest tier is the authoritative store.
+        return len(self.tiers[-1])
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tier_lookup(
+        tier: CacheBackend, keys: Sequence[str]
+    ) -> Dict[str, Dict[str, Any]]:
+        bulk = getattr(tier, "lookup_many", None)
+        if bulk is not None:
+            return bulk(keys)
+        found: Dict[str, Dict[str, Any]] = {}
+        for key in keys:
+            payload = tier.get(key)
+            if payload is not None:
+                found[key] = payload
+        return found
+
+    @staticmethod
+    def _tier_store(
+        tier: CacheBackend, payloads: Mapping[str, Mapping[str, Any]]
+    ) -> None:
+        bulk = getattr(tier, "store_many", None)
+        if bulk is not None:
+            bulk(payloads)
+        else:
+            for key, payload in payloads.items():
+                tier.put(key, payload)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self.lookup_many((key,)).get(key)
+
+    def lookup_many(self, keys: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+        remaining = list(dict.fromkeys(keys))
+        found: Dict[str, Dict[str, Any]] = {}
+        for index, tier in enumerate(self.tiers):
+            if not remaining:
+                break
+            hits = self._tier_lookup(tier, remaining)
+            if not hits:
+                continue
+            for upper in self.tiers[:index]:
+                self._tier_store(upper, hits)
+            found.update(hits)
+            remaining = [key for key in remaining if key not in hits]
+        self.stats.hits += len(found)
+        self.stats.misses += len(remaining)
+        return found
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        self.store_many({key: payload})
+
+    def store_many(self, payloads: Mapping[str, Mapping[str, Any]]) -> None:
+        for tier in self.tiers:
+            self._tier_store(tier, payloads)
+        self.stats.stores += len(payloads)
+
+    def clear(self) -> None:
+        for tier in self.tiers:
+            tier.clear()
+        self.stats.reset()
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Drain any write-behind tier (no-op for synchronous tiers)."""
+        drained = True
+        for tier in self.tiers:
+            flush = getattr(tier, "flush", None)
+            if flush is not None:
+                drained = flush(timeout=timeout) and drained
+        return drained
+
+    def close(self) -> None:
+        for tier in self.tiers:
+            close = getattr(tier, "close", None)
+            if close is not None:
+                close()
+
+
+# ----------------------------------------------------------------------
+# User-facing cache= resolution
+# ----------------------------------------------------------------------
+#: Scheme prefix selecting the network tier in ``cache=`` arguments.
+REMOTE_SCHEME = "remote://"
+
+
+def parse_remote_url(url: str) -> Tuple[str, int, Optional[str]]:
+    """``remote://host:port[/fallback/dir]`` -> (host, port, fallback).
+
+    The optional path component names a **local** directory used as the
+    read-through/write-through fallback while the server is
+    unreachable; without it the remote tier stands alone.
+    """
+    if not url.startswith(REMOTE_SCHEME):
+        raise ValueError(f"not a remote cache URL: {url!r}")
+    rest = url[len(REMOTE_SCHEME) :]
+    netloc, slash, path = rest.partition("/")
+    host, colon, port_text = netloc.rpartition(":")
+    if not colon or not host or not port_text:
+        raise ValueError(
+            f"remote cache URL must be remote://host:port[/fallback/dir], "
+            f"got {url!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"bad port in remote cache URL {url!r}") from None
+    fallback = f"/{path}" if slash and path else None
+    return host, port, fallback
+
+
 def resolve_backend(
     cache: Union[None, str, Path, CacheBackend],
     *,
     max_entries: Optional[int] = None,
+    format: Optional[str] = None,
 ) -> CacheBackend:
     """Normalize a user-facing ``cache=`` argument into a backend.
 
-    ``None`` -> fresh :class:`MemoryCache`; a string or path -> a
-    :class:`DiskCache` rooted there; an existing backend passes through
-    (``max_entries`` then must be left unset — the backend already owns
-    its bound).
+    ``None`` -> fresh :class:`MemoryCache`; a ``remote://host:port``
+    URL -> a :class:`RemoteCache` (with a local :class:`DiskCache`
+    fallback when the URL carries a path, and a bounded
+    :class:`MemoryCache` front tier when ``max_entries`` is set); any
+    other string or path -> a :class:`DiskCache` rooted there; an
+    existing backend passes through (``max_entries`` and ``format``
+    then must be left unset — the backend already owns its bound and
+    shard format).  ``format`` selects the :class:`DiskCache` shard
+    format (``"compact"``/``"json"``) and is rejected wherever no disk
+    store is being constructed.
     """
     if cache is None:
+        if format is not None:
+            raise ValueError(
+                "format requires a disk-backed cache; the in-memory "
+                "backend has no shard format"
+            )
         return MemoryCache(max_entries=max_entries)
+    if isinstance(cache, str) and cache.startswith(REMOTE_SCHEME):
+        host, port, fallback_root = parse_remote_url(cache)
+        fallback: Optional[CacheBackend] = None
+        if fallback_root is not None:
+            fallback = DiskCache(fallback_root, format=format or "compact")
+        elif format is not None:
+            raise ValueError(
+                "format applies to the local fallback DiskCache; this "
+                "remote URL names no fallback directory"
+            )
+        remote: CacheBackend = RemoteCache(host, port, fallback=fallback)
+        if max_entries is not None:
+            # The bound names the local hot set: a memory front tier.
+            return TieredCache((MemoryCache(max_entries=max_entries), remote))
+        return remote
     if isinstance(cache, (str, Path)):
-        return DiskCache(cache, max_entries=max_entries)
+        return DiskCache(cache, max_entries=max_entries, format=format or "compact")
     if isinstance(cache, CacheBackend):
         if max_entries is not None:
             raise ValueError(
                 "max_entries cannot be combined with an explicit backend; "
                 "configure the bound on the backend itself"
             )
+        if format is not None:
+            raise ValueError(
+                "format cannot be combined with an explicit backend; "
+                "configure the format on the backend itself"
+            )
         return cache
     raise TypeError(
-        f"cache must be None, a path, or a CacheBackend, not {type(cache).__name__}"
+        f"cache must be None, a path, a remote:// URL, or a CacheBackend, "
+        f"not {type(cache).__name__}"
     )

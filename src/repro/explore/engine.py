@@ -53,7 +53,7 @@ from ..dtse.allocation.assign import DEFAULT_AREA_WEIGHT
 from ..dtse.pipeline import PmmRequest, PmmResult
 from ..ir.program import Program
 from ..memlib.library import MemoryLibrary, default_library
-from .cache import CacheBackend, DiskCache, resolve_backend
+from .cache import REMOTE_SCHEME, CacheBackend, DiskCache, resolve_backend
 from .fingerprint import (
     cached_canonical_json,
     canonical_value,
@@ -83,10 +83,14 @@ class EvaluationCache:
 
     The backend (:class:`~repro.explore.cache.CacheBackend`) owns the
     serializable report payloads — :class:`MemoryCache` by default,
-    :class:`DiskCache` when constructed with ``path=`` (warm across
-    processes and runs), or any caller-provided backend.  Full
-    :class:`PmmResult`\\ s are kept in-memory only (they hold schedules
-    and conflict graphs) for callers that need more than the report.
+    :class:`DiskCache` when constructed with a ``path=`` directory
+    (warm across processes and runs), :class:`RemoteCache` when
+    ``path=`` is a ``remote://host:port`` URL (warm across *machines*
+    via :mod:`repro.cacheserver`), or any caller-provided backend;
+    ``format=`` picks the :class:`DiskCache` shard format where one is
+    being built.  Full :class:`PmmResult`\\ s are kept in-memory only
+    (they hold schedules and conflict graphs) for callers that need
+    more than the report.
 
     On top of the backend sits the **decoded-report tier**: a
     fingerprint -> (:class:`CostReport` | failure) mirror of everything
@@ -119,14 +123,24 @@ class EvaluationCache:
         *,
         backend: Optional[CacheBackend] = None,
         max_entries: Optional[int] = None,
+        format: Optional[str] = None,
     ) -> None:
         if path is not None and backend is not None:
             raise ValueError("pass either path= or backend=, not both")
         if backend is not None:
-            self.backend = resolve_backend(backend, max_entries=max_entries)
-        else:
             self.backend = resolve_backend(
-                Path(path) if path is not None else None, max_entries=max_entries
+                backend, max_entries=max_entries, format=format
+            )
+        else:
+            # Remote URLs must reach resolve_backend as strings —
+            # Path() would mangle the ``//`` scheme separator.
+            target: Union[None, str, Path]
+            if isinstance(path, str) and path.startswith(REMOTE_SCHEME):
+                target = path
+            else:
+                target = Path(path) if path is not None else None
+            self.backend = resolve_backend(
+                target, max_entries=max_entries, format=format
             )
         self.path = self.backend.root if isinstance(self.backend, DiskCache) else None
         self.max_entries = getattr(self.backend, "max_entries", None)
@@ -330,6 +344,27 @@ class EvaluationCache:
         with self.lock:
             self.misses += n
 
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Drain a write-behind backend (:class:`RemoteCache` queues
+        stores); synchronous backends are a no-op True."""
+        with self.lock:
+            flush = getattr(self.backend, "flush", None)
+            if flush is None:
+                return True
+            return bool(flush(timeout=timeout))
+
+    def close_backend(self) -> None:
+        """Release backend resources (network connections, flushers).
+
+        Backends without a ``close`` (the in-process ones) are a no-op;
+        the cache itself stays usable — a :class:`RemoteCache` would
+        reconnect on the next probe.
+        """
+        with self.lock:
+            close = getattr(self.backend, "close", None)
+            if close is not None:
+                close()
+
     def clear(self) -> None:
         with self.lock:
             self.backend.clear()
@@ -435,6 +470,34 @@ class ExplorationResult:
     def cache_hit_count(self) -> int:
         return sum(1 for record in self.records if record.cache_hit)
 
+    @classmethod
+    def merged(cls, results: Sequence["ExplorationResult"]) -> "ExplorationResult":
+        """Combine shard results into one, deduplicated by fingerprint.
+
+        The inverse of :meth:`Explorer.shard_points`: each worker
+        sweeps its shard, the results merge here.  Records keep their
+        first-seen order across ``results``; a fingerprint appearing in
+        several shards (e.g. overlapping manual partitions) contributes
+        its first record only.  Metadata (space name, strategy) comes
+        from the first result that sets it; decisions merge left to
+        right.
+        """
+        if not results:
+            raise ValueError("merged needs at least one result")
+        merged = cls(
+            space_name=next((r.space_name for r in results if r.space_name), ""),
+            strategy=next((r.strategy for r in results if r.strategy), ""),
+        )
+        seen: set = set()
+        for result in results:
+            for record in result.records:
+                if record.fingerprint in seen:
+                    continue
+                seen.add(record.fingerprint)
+                merged.records.append(record)
+            merged.decisions.update(result.decisions)
+        return merged
+
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -517,10 +580,20 @@ class Explorer:
         pool exists, any batch of two or more misses uses it.
     cache:
         Shared :class:`EvaluationCache`, a bare
-        :class:`~repro.explore.cache.CacheBackend`, or a directory path
+        :class:`~repro.explore.cache.CacheBackend`, a directory path
         (wrapped in a :class:`~repro.explore.cache.DiskCache` so the
-        memo survives across processes and runs).  A private in-memory
+        memo survives across processes and runs), or a
+        ``remote://host:port`` URL (a
+        :class:`~repro.explore.cache.RemoteCache` client of the
+        :mod:`repro.cacheserver` network tier, so the memo is shared
+        across machines; an optional ``/local/dir`` path suffix adds a
+        read-through fallback for server outages).  A private in-memory
         cache is created when omitted.
+    cache_format:
+        Shard format (``"compact"``/``"json"``) forwarded wherever the
+        ``cache`` argument builds a
+        :class:`~repro.explore.cache.DiskCache`; invalid with backends
+        that have no disk store to configure.
     on_error:
         ``"raise"`` (default) propagates oracle failures; ``"skip"``
         drops infeasible points from the batch instead, recording them
@@ -545,6 +618,7 @@ class Explorer:
         workers: int = 1,
         min_parallel_batch: int = DEFAULT_MIN_PARALLEL_BATCH,
         cache: Union[None, str, Path, CacheBackend, EvaluationCache] = None,
+        cache_format: Optional[str] = None,
         area_weight: float = DEFAULT_AREA_WEIGHT,
         seed: int = 0,
         on_error: str = "raise",
@@ -560,9 +634,20 @@ class Explorer:
         self.workers = workers
         self.min_parallel_batch = min_parallel_batch
         if isinstance(cache, EvaluationCache):
+            if cache_format is not None:
+                raise ValueError(
+                    "cache_format cannot be combined with a shared "
+                    "EvaluationCache; its backend already owns the format"
+                )
             self.cache = cache
+        elif isinstance(cache, str):
+            # Strings (paths and remote:// URLs alike) go through the
+            # facade so its remote-URL handling applies.
+            self.cache = EvaluationCache(cache, format=cache_format)
         else:
-            self.cache = EvaluationCache(backend=resolve_backend(cache))
+            self.cache = EvaluationCache(
+                backend=resolve_backend(cache, format=cache_format)
+            )
         self.area_weight = area_weight
         self.seed = seed
         self.on_error = on_error
@@ -678,6 +763,40 @@ class Explorer:
             area_weight=request.area_weight,
             seed=request.seed,
         )
+
+    def shard_points(
+        self,
+        count: int,
+        index: int,
+        points: Optional[Sequence[DesignPoint]] = None,
+    ) -> List[DesignPoint]:
+        """Deterministic fingerprint partition of a sweep into shards.
+
+        Splits the space's full cartesian product (or ``points``) into
+        ``count`` disjoint shards by content address: shard ``index``
+        keeps the points whose fingerprint prefix falls in its residue
+        class.  Because the partition key is the same fingerprint the
+        memo cache is addressed by, a fleet of workers sharing one
+        ``remote://`` cache tier can each sweep its shard with **zero**
+        coordination and zero duplicate oracle evaluations, then
+        combine with :meth:`ExplorationResult.merged`.  The partition
+        is stable across processes and machines (content hashes, not
+        ``hash()``), and every point lands in exactly one shard.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if not 0 <= index < count:
+            raise ValueError(f"index must be in [0, {count}), got {index}")
+        if points is None:
+            if self.space is None:
+                raise ValueError("explorer has no design space to shard")
+            points = self.space.points()
+        selected: List[DesignPoint] = []
+        for point in points:
+            fingerprint = self.fingerprint_point(point, self.request_for(point))
+            if int(fingerprint[:8], 16) % count == index:
+                selected.append(point)
+        return selected
 
     # ------------------------------------------------------------------
     # Evaluation

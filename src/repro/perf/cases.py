@@ -21,6 +21,11 @@ Four scenario families per fast workload (registered on import, tagged
   live :class:`~repro.costs.report.CostReport` without payload
   fetching or ``from_dict`` materialization.  This is the cache
   stack's in-process ceiling.
+* ``registry_resweep_remote_warm`` — the registry re-swept by fresh
+  :class:`~repro.explore.cache.RemoteCache` clients against a warm
+  :mod:`repro.cacheserver` over loopback: the cross-machine warm path
+  (one batched wire round trip per app sweep, compact records end to
+  end).  Zero oracle re-evaluations by construction.
 
 ``sweep_parallel_cavity`` exercises the ``workers=N`` process pool from
 cold (pool spin-up included), ``sweep_parallel_warm_pool_cavity``
@@ -286,6 +291,63 @@ def _registry_resweep_warm_decoded() -> PerfCase:
     )
 
 
+def _registry_resweep_remote_warm() -> PerfCase:
+    def setup() -> Dict[str, Any]:
+        from ..cacheserver import CacheServerConfig, CacheServerThread
+
+        server = CacheServerThread(
+            CacheServerConfig(host="127.0.0.1", port=0)
+        ).start()
+        warm = EvaluationCache(server.url)
+        for app in FAST_APPS:
+            Explorer.for_app(app, cache=warm, on_error="skip").run(ExhaustiveSweep())
+        if not warm.flush(timeout=60):
+            raise AssertionError("write-behind queue failed to drain into server")
+        warm.close_backend()
+        return {"server": server}
+
+    def run(state: Dict[str, Any]) -> CaseRun:
+        # A fresh client per run: every probe crosses the wire, exactly
+        # like a new worker machine joining the fleet would.
+        shared = EvaluationCache(state["server"].url)
+        evals = 0
+        points = 0
+        for app in FAST_APPS:
+            explorer = Explorer.for_app(app, cache=shared, on_error="skip")
+            result = explorer.run(ExhaustiveSweep())
+            evals += len(result.records)
+            points += len(explorer.space)
+        if shared.misses:
+            raise AssertionError(
+                "warm RemoteCache re-sweep re-ran the oracle "
+                f"{shared.misses} time(s)"
+            )
+        stats = shared.stats_dict()
+        shared.close_backend()
+        return CaseRun(
+            evals=evals,
+            points=points,
+            cache=stats,
+            notes="registry-wide re-sweep by fresh RemoteCache clients "
+            "against a warm cache server over loopback (zero oracle "
+            "re-evaluations)",
+        )
+
+    def teardown(state: Any) -> None:
+        if state is not None:
+            state["server"].stop()
+
+    return PerfCase(
+        name="registry_resweep_remote_warm",
+        run=run,
+        setup=setup,
+        teardown=teardown,
+        tags=("quick", "remote", "memo"),
+        description="all fast apps re-swept by fresh remote-cache clients "
+        "against a warm loopback cache server",
+    )
+
+
 # ----------------------------------------------------------------------
 # Serving explorations: concurrent clients against one warm server
 # ----------------------------------------------------------------------
@@ -405,6 +467,7 @@ def register_builtin_cases(replace: bool = False) -> None:
     register_case(_sweep_parallel_warm_pool_cavity(), replace=replace)
     register_case(_registry_sweep_warm_disk(), replace=replace)
     register_case(_registry_resweep_warm_decoded(), replace=replace)
+    register_case(_registry_resweep_remote_warm(), replace=replace)
     register_case(
         _service_concurrent_clients(
             "service_concurrent_clients", 8, 3, ("service", "full")

@@ -47,9 +47,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--cache",
-        metavar="DIR",
+        metavar="DIR_OR_URL",
         default=None,
-        help="DiskCache directory for the shared cache (default: in-memory)",
+        help="DiskCache directory for the shared cache, or a "
+        "remote://host:port URL for the repro.cacheserver network "
+        "tier (default: in-memory)",
     )
     parser.add_argument(
         "--batch-size",

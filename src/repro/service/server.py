@@ -95,7 +95,9 @@ class ServiceConfig:
     port: int = 8642
     #: Worker processes per app explorer (1 = in-process oracle).
     workers: int = 1
-    #: DiskCache directory for the shared cache; ``None`` stays in memory.
+    #: DiskCache directory for the shared cache, or a
+    #: ``remote://host:port`` URL plugging the service into the
+    #: :mod:`repro.cacheserver` network tier; ``None`` stays in memory.
     cache_dir: Optional[Union[str, Path]] = None
     #: Points per ``evaluate_many`` batch (and per stream flush).
     batch_size: int = 32
@@ -200,6 +202,10 @@ class SweepService:
             explorers = list(self._explorers.values())
         for explorer in explorers:
             explorer.close()
+        # A write-behind backend (RemoteCache) may still hold queued
+        # stores; drain them so the shared tier keeps everything this
+        # service evaluated.  Synchronous backends are a no-op.
+        self.cache.flush()
 
     # ------------------------------------------------------------------
     # Admission control

@@ -1,0 +1,336 @@
+"""The shared cache tier end to end: server, RemoteCache, tiering.
+
+Covers the acceptance scenarios for the network tier: two clients
+sharing one warm corpus with zero duplicate oracle evaluations,
+read-through fallback while the server is down, and a mixed-format
+(``.rpc`` + ``.json``) corpus served remotely byte-identically to
+local reads.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.cacheserver import protocol
+from repro.cacheserver.server import CacheServerConfig, CacheServerThread
+from repro.costs.report import frame_length, pack_frame
+from repro.explore import (
+    DiskCache,
+    ExhaustiveSweep,
+    ExplorationResult,
+    Explorer,
+    MemoryCache,
+    RemoteCache,
+    TieredCache,
+)
+
+
+@pytest.fixture()
+def server():
+    with CacheServerThread(CacheServerConfig(host="127.0.0.1", port=0)) as srv:
+        yield srv
+
+
+def make_client(server, **kwargs):
+    host, port = server.address
+    return RemoteCache(host, port, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Basic protocol traffic
+# ----------------------------------------------------------------------
+class TestRoundTrips:
+    def test_put_get_len_clear(self, server):
+        with make_client(server) as client:
+            client.put("k1", {"x": 1})
+            client.put("k2", {"__infeasible__": "nope"})
+            assert client.flush(timeout=10)
+            assert len(client) == 2
+            assert client.get("k1") == {"x": 1}
+            assert client.get("k2") == {"__infeasible__": "nope"}
+            assert client.get("absent") is None
+            client.clear()
+            assert len(client) == 0
+
+    def test_read_your_writes_before_flush(self, server):
+        with make_client(server) as client:
+            client.put("pending", {"v": 7})
+            # The entry may still be in the write-behind queue, yet the
+            # probe must see it.
+            assert client.get("pending") == {"v": 7}
+
+    def test_lookup_many_batches(self, server):
+        with make_client(server) as client:
+            payloads = {f"k{i}": {"i": i} for i in range(50)}
+            client.store_many(payloads)
+            assert client.flush(timeout=10)
+            found = client.lookup_many(list(payloads) + ["missing"])
+            assert found == payloads
+
+    def test_server_stats_counters(self, server):
+        with make_client(server) as client:
+            client.put("k", {"v": 1})
+            assert client.flush(timeout=10)
+            client.get("k")
+            stats = client.server_stats()
+            assert stats["server"] == "repro.cacheserver"
+            assert stats["entries"] == 1
+            assert stats["keys_stored"] == 1
+            assert stats["keys_served"] >= 1
+
+    def test_synchronous_stores(self, server):
+        with make_client(server, write_behind=False) as client:
+            client.put("k", {"v": 2})
+            assert len(client) == 1  # no flush needed
+
+    def test_client_stats_hits_and_misses(self, server):
+        with make_client(server) as client:
+            client.put("k", {"v": 1})
+            assert client.flush(timeout=10)
+            client.get("k")
+            client.get("absent")
+            assert client.stats.hits == 1
+            assert client.stats.misses == 1
+            assert client.stats.stores == 1
+
+
+# ----------------------------------------------------------------------
+# Handshake discipline (raw socket, no client sugar)
+# ----------------------------------------------------------------------
+class TestHandshake:
+    @staticmethod
+    def _exchange(address, body):
+        with socket.create_connection(address, timeout=10) as sock:
+            sock.sendall(pack_frame(body))
+            header = b""
+            while len(header) < 4:
+                chunk = sock.recv(4 - len(header))
+                assert chunk, "server closed before responding"
+                header += chunk
+            length = frame_length(header)
+            payload = b""
+            while len(payload) < length:
+                chunk = sock.recv(length - len(payload))
+                assert chunk
+                payload += chunk
+            return payload
+
+    def test_first_frame_must_be_hello(self, server):
+        response = self._exchange(server.address, protocol.get_request(["k"]))
+        with pytest.raises(protocol.RemoteError, match="HELLO"):
+            protocol.parse_response(response)
+
+    def test_version_mismatch_rejected(self, server):
+        bad_hello = (
+            bytes([protocol.OP_HELLO])
+            + protocol.HELLO_MAGIC
+            + bytes([protocol.CACHE_PROTOCOL_VERSION + 1])
+        )
+        response = self._exchange(server.address, bad_hello)
+        with pytest.raises(protocol.RemoteError, match="version"):
+            protocol.parse_response(response)
+
+    def test_hello_reports_server_info(self, server):
+        response = self._exchange(server.address, protocol.hello_request())
+        info = protocol.parse_payload_response(response)
+        assert info["server"] == "repro.cacheserver"
+        assert info["protocol"] == protocol.CACHE_PROTOCOL_VERSION
+
+
+# ----------------------------------------------------------------------
+# Two clients, one warm corpus: the tier's whole point
+# ----------------------------------------------------------------------
+class TestSharedCorpus:
+    def test_second_client_sweeps_with_zero_oracle_evals(self, server):
+        first = Explorer.for_app("cavity", cache=server.url, on_error="skip")
+        cold = first.run(ExhaustiveSweep())
+        assert first.cache.misses > 0  # the cold sweep did real work
+        assert first.cache.flush(timeout=30)
+        first.cache.close_backend()
+
+        second = Explorer.for_app("cavity", cache=server.url, on_error="skip")
+        warm = second.run(ExhaustiveSweep())
+        assert second.cache.misses == 0  # zero duplicate oracle evals
+        assert len(warm.records) == len(cold.records)
+        assert {r.fingerprint for r in warm.records} == {
+            r.fingerprint for r in cold.records
+        }
+        second.cache.close_backend()
+
+    def test_concurrent_clients_stay_consistent(self, server):
+        payloads = {f"fp{i}": {"i": i, "deep": {"v": [i, i + 1]}} for i in range(40)}
+        errors = []
+
+        def hammer(offset):
+            try:
+                with make_client(server) as client:
+                    for i in range(offset, 40, 2):
+                        key = f"fp{i}"
+                        client.put(key, payloads[key])
+                    assert client.flush(timeout=30)
+                    for _ in range(5):
+                        found = client.lookup_many(sorted(payloads))
+                        for key, payload in found.items():
+                            assert payload == payloads[key]
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(o,)) for o in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        with make_client(server) as checker:
+            assert checker.lookup_many(sorted(payloads)) == payloads
+
+    def test_sharded_sweeps_merge_to_full_result(self, server):
+        pilot = Explorer.for_app("cavity", cache=server.url, on_error="skip")
+        points = pilot.space.points()
+        shards = [pilot.shard_points(3, i) for i in range(3)]
+        assert sum(len(s) for s in shards) == len(points)
+        assert len({p.display_label for s in shards for p in s}) == len(points)
+
+        partials = []
+        for shard in shards:
+            worker = Explorer.for_app("cavity", cache=server.url, on_error="skip")
+            records = worker.evaluate_many(shard)
+            partials.append(
+                ExplorationResult(
+                    space_name=worker.space.name,
+                    strategy="shard",
+                    records=records,
+                )
+            )
+            assert worker.cache.flush(timeout=30)
+            worker.cache.close_backend()
+        merged = ExplorationResult.merged(partials)
+
+        reference = pilot.run(ExhaustiveSweep())
+        assert pilot.cache.misses == 0  # shard workers fed the corpus
+        assert {r.fingerprint for r in merged.records} == {
+            r.fingerprint for r in reference.records
+        }
+        pilot.cache.close_backend()
+
+
+# ----------------------------------------------------------------------
+# Outage behavior: read-through fallback, recovery
+# ----------------------------------------------------------------------
+class TestFallback:
+    def test_reads_fall_through_when_server_down(self, tmp_path):
+        local = DiskCache(tmp_path / "fallback")
+        local.put("warm", {"v": 42})
+        # Port 1 refuses connections; the client must serve from disk.
+        client = RemoteCache(
+            "127.0.0.1", 1, fallback=local, retry_seconds=0.05
+        )
+        assert client.get("warm") == {"v": 42}
+        assert client.get("absent") is None
+        client.close(timeout=1.0)
+
+    def test_stores_land_on_fallback_when_server_down(self, tmp_path):
+        local = DiskCache(tmp_path / "fallback")
+        client = RemoteCache(
+            "127.0.0.1", 1, fallback=local, retry_seconds=0.05
+        )
+        client.put("k", {"v": 3})
+        assert client.flush(timeout=10)  # absorbed by the fallback
+        assert local.get("k") == {"v": 3}
+        assert len(client) == 1
+        client.close(timeout=1.0)
+
+    def test_no_fallback_flush_reports_failure(self):
+        client = RemoteCache("127.0.0.1", 1, retry_seconds=0.05)
+        client.put("k", {"v": 4})
+        assert client.flush(timeout=0.5) is False
+        assert client.get("k") == {"v": 4}  # still pending, still readable
+        client.close(timeout=0.2)
+
+    def test_resolve_remote_url_with_fallback_dir(self, tmp_path):
+        from repro.explore import resolve_backend
+
+        root = tmp_path / "fb"
+        backend = resolve_backend(f"remote://127.0.0.1:1{root}")
+        assert isinstance(backend, RemoteCache)
+        assert isinstance(backend.fallback, DiskCache)
+        assert backend.fallback.root == root
+        backend.close(timeout=1.0)
+
+    def test_queue_survives_outage_until_server_returns(self, tmp_path):
+        config = CacheServerConfig(
+            host="127.0.0.1", port=0, cache_dir=tmp_path / "corpus"
+        )
+        with CacheServerThread(config) as first:
+            host, port = first.address
+        # Server is now down; writes queue client-side.
+        client = RemoteCache(host, port, retry_seconds=0.05)
+        client.put("k", {"v": 5})
+        assert client.flush(timeout=1) is False
+        # Same corpus, new incarnation on the same port: the retry
+        # drains the queue into it.
+        with CacheServerThread(
+            CacheServerConfig(host=host, port=port, cache_dir=tmp_path / "corpus")
+        ):
+            assert client.flush(timeout=10)
+            assert client.get("k") == {"v": 5}
+        client.close(timeout=1.0)
+
+
+# ----------------------------------------------------------------------
+# Mixed-format corpus over the wire
+# ----------------------------------------------------------------------
+class TestMixedFormatCorpus:
+    def test_remote_reads_match_local_reads(self, tmp_path):
+        root = tmp_path / "corpus"
+        compact_writer = DiskCache(root, format="compact")
+        json_writer = DiskCache(root, format="json")
+        expected = {}
+        for i in range(6):
+            payload = {"i": i, "nested": {"vals": [i, i * 2.5]}}
+            writer = compact_writer if i % 2 == 0 else json_writer
+            writer.put(f"key{i}", payload)
+            expected[f"key{i}"] = payload
+
+        config = CacheServerConfig(host="127.0.0.1", port=0, cache_dir=root)
+        with CacheServerThread(config) as srv:
+            with make_client(srv) as client:
+                remote_view = client.lookup_many(sorted(expected))
+        local_view = DiskCache(root).lookup_many(sorted(expected))
+        assert remote_view == local_view == expected
+
+
+# ----------------------------------------------------------------------
+# Tier composition
+# ----------------------------------------------------------------------
+class TestTieredCache:
+    def test_promotion_and_write_through(self, server):
+        front = MemoryCache(max_entries=8)
+        remote = make_client(server)
+        tiered = TieredCache((front, remote))
+        assert tiered.max_entries == 8
+
+        tiered.put("k", {"v": 1})
+        assert remote.flush(timeout=10)
+        assert front.get("k") == {"v": 1}  # write-through hit the front
+
+        front.clear()
+        assert tiered.get("k") == {"v": 1}  # served by the remote tier
+        assert front.get("k") == {"v": 1}  # ... and promoted forward
+        tiered.close()
+
+    def test_front_tier_absorbs_repeat_probes(self, server):
+        remote = make_client(server)
+        tiered = TieredCache((MemoryCache(max_entries=8), remote))
+        tiered.put("k", {"v": 2})
+        assert remote.flush(timeout=10)
+        before = remote.stats.hits + remote.stats.misses
+        for _ in range(5):
+            assert tiered.get("k") == {"v": 2}
+        assert remote.stats.hits + remote.stats.misses == before
+        tiered.close()
+
+    def test_empty_tiers_rejected(self):
+        with pytest.raises(ValueError):
+            TieredCache(())

@@ -1,0 +1,149 @@
+"""The cache-tier wire protocol: framing, opcodes, batch codecs."""
+
+import pytest
+
+from repro.cacheserver import protocol
+from repro.costs.report import (
+    FRAME_MAX_BYTES,
+    CompactDecodeError,
+    FrameError,
+    frame_length,
+    pack_frame,
+    pack_wire_keys,
+    pack_wire_records,
+    unpack_wire_keys,
+    unpack_wire_records,
+)
+
+
+# ----------------------------------------------------------------------
+# Frame layer (costs.report)
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_round_trip(self):
+        framed = pack_frame(b"hello")
+        assert frame_length(framed[:4]) == 5
+        assert framed[4:] == b"hello"
+
+    def test_empty_body(self):
+        framed = pack_frame(b"")
+        assert frame_length(framed[:4]) == 0
+        assert framed == b"\x00\x00\x00\x00"
+
+    def test_oversized_body_rejected(self):
+        class FakeBytes(bytes):
+            def __len__(self):
+                return FRAME_MAX_BYTES + 1
+
+        with pytest.raises(FrameError):
+            pack_frame(FakeBytes())
+
+    def test_oversized_header_rejected(self):
+        header = (FRAME_MAX_BYTES + 1).to_bytes(4, "little")
+        with pytest.raises(FrameError):
+            frame_length(header)
+
+    def test_short_header_rejected(self):
+        with pytest.raises(FrameError):
+            frame_length(b"\x00\x00")
+
+
+# ----------------------------------------------------------------------
+# Batch codecs (costs.report)
+# ----------------------------------------------------------------------
+class TestWireBatches:
+    def test_keys_round_trip(self):
+        keys = ["abc", "", "fingerprint-é"]
+        assert unpack_wire_keys(pack_wire_keys(keys)) == keys
+
+    def test_keys_trailing_bytes_rejected(self):
+        with pytest.raises(CompactDecodeError):
+            unpack_wire_keys(pack_wire_keys(["a"]) + b"x")
+
+    def test_keys_truncation_rejected(self):
+        blob = pack_wire_keys(["abcdef"])
+        with pytest.raises(CompactDecodeError):
+            unpack_wire_keys(blob[:-2])
+
+    def test_records_round_trip(self):
+        payloads = {
+            "k1": {"x": 1, "nested": {"y": [1, 2.5, "z"]}},
+            "k2": {"__infeasible__": "no allocation"},
+        }
+        assert unpack_wire_records(pack_wire_records(payloads)) == payloads
+
+    def test_records_empty(self):
+        assert unpack_wire_records(pack_wire_records({})) == {}
+
+
+# ----------------------------------------------------------------------
+# Opcode layer
+# ----------------------------------------------------------------------
+class TestRequests:
+    def test_hello_round_trip(self):
+        opcode, operand = protocol.parse_request(protocol.hello_request())
+        assert opcode == protocol.OP_HELLO
+        assert protocol.parse_hello(operand) == protocol.CACHE_PROTOCOL_VERSION
+
+    def test_hello_bad_magic(self):
+        with pytest.raises(protocol.WireProtocolError):
+            protocol.parse_hello(b"XXXX\x01")
+
+    def test_hello_version_mismatch(self):
+        bad = protocol.HELLO_MAGIC + bytes([protocol.CACHE_PROTOCOL_VERSION + 1])
+        with pytest.raises(protocol.WireProtocolError, match="version"):
+            protocol.parse_hello(bad)
+
+    def test_get_round_trip(self):
+        opcode, operand = protocol.parse_request(protocol.get_request(["a", "b"]))
+        assert opcode == protocol.OP_GET
+        assert protocol.parse_get(operand) == ["a", "b"]
+
+    def test_put_round_trip(self):
+        payloads = {"k": {"v": 1}}
+        opcode, operand = protocol.parse_request(protocol.put_request(payloads))
+        assert opcode == protocol.OP_PUT
+        assert protocol.parse_put(operand) == payloads
+
+    def test_empty_request_rejected(self):
+        with pytest.raises(protocol.WireProtocolError):
+            protocol.parse_request(b"")
+
+    def test_malformed_operand_wrapped(self):
+        with pytest.raises(protocol.WireProtocolError):
+            protocol.parse_get(b"\xff\xff")
+
+
+class TestResponses:
+    def test_ok_records(self):
+        payloads = {"k": {"v": [1, 2]}}
+        assert (
+            protocol.parse_records_response(protocol.ok_records(payloads))
+            == payloads
+        )
+
+    def test_ok_count(self):
+        assert protocol.parse_count_response(protocol.ok_count(12345)) == 12345
+
+    def test_ok_payload(self):
+        payload = {"server": "x", "entries": 3}
+        assert (
+            protocol.parse_payload_response(protocol.ok_payload(payload))
+            == payload
+        )
+
+    def test_error_raises_remote_error(self):
+        with pytest.raises(protocol.RemoteError, match="boom"):
+            protocol.parse_response(protocol.error_response("boom"))
+
+    def test_empty_response_rejected(self):
+        with pytest.raises(protocol.WireProtocolError):
+            protocol.parse_response(b"")
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(protocol.WireProtocolError):
+            protocol.parse_response(b"\x07")
+
+    def test_malformed_count_rejected(self):
+        with pytest.raises(protocol.WireProtocolError):
+            protocol.parse_count_response(protocol.ok_response(b"\x01\x02"))

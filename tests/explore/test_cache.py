@@ -23,7 +23,14 @@ from repro.api import (
     ProgramBuilder,
 )
 from repro.costs.report import COMPACT_MAGIC
-from repro.explore.cache import COMPACT_SUFFIX, JSON_SUFFIX, resolve_backend
+from repro.explore.cache import (
+    COMPACT_SUFFIX,
+    JSON_SUFFIX,
+    RemoteCache,
+    TieredCache,
+    parse_remote_url,
+    resolve_backend,
+)
 
 
 def _payload(value: int) -> dict:
@@ -534,6 +541,199 @@ def test_resolve_backend_variants(tmp_path):
 def test_evaluation_cache_rejects_path_plus_backend(tmp_path):
     with pytest.raises(ValueError):
         EvaluationCache(path=tmp_path, backend=MemoryCache())
+
+
+# ----------------------------------------------------------------------
+# DiskCache read-path regressions: mirror bound, negative probes
+# ----------------------------------------------------------------------
+def test_disk_cache_mirror_bounded_on_read_path(tmp_path):
+    """Reads must not grow the decoded mirror past ``max_entries``.
+
+    Regression: ``_load`` used to insert into the mirror with no cap,
+    so a bounded reader sweeping a large sibling-written corpus leaked
+    one decoded payload per distinct key read.
+    """
+    writer = DiskCache(tmp_path / "c")
+    for i in range(12):
+        writer.put(f"key{i}", _payload(i))
+
+    reader = DiskCache(tmp_path / "c", max_entries=4)
+    for i in range(12):
+        assert reader.get(f"key{i}") == _payload(i)
+    assert len(reader._mirror) <= 4
+    # The most recently read keys survived, LRU order intact.
+    assert list(reader._mirror) == [f"key{i}" for i in range(8, 12)]
+
+    bulk_reader = DiskCache(tmp_path / "c", max_entries=4)
+    found = bulk_reader.lookup_many([f"key{i}" for i in range(12)])
+    assert len(found) == 12
+    assert len(bulk_reader._mirror) <= 4
+
+
+def test_disk_cache_mirror_hits_refresh_recency(tmp_path):
+    writer = DiskCache(tmp_path / "c")
+    for i in range(4):
+        writer.put(f"key{i}", _payload(i))
+    reader = DiskCache(tmp_path / "c", max_entries=3)
+    for i in range(3):
+        reader.get(f"key{i}")
+    reader.get("key0")  # mirror hit: key0 becomes most recent
+    reader.get("key3")  # evicts the least recent (key1), not key0
+    assert "key0" in reader._mirror
+    assert "key1" not in reader._mirror
+
+
+def test_disk_cache_negative_get_does_not_probe_files(tmp_path, monkeypatch):
+    """A repeated single-key miss must stay off the filesystem read path.
+
+    Regression: ``get`` used to bypass the directory index and probe
+    both suffix files, paying two failed ``read_bytes`` syscalls per
+    negative lookup, every time.
+    """
+    cache = DiskCache(tmp_path / "c")
+    cache.put("present", _payload(1))
+
+    reads = []
+    original = Path.read_bytes
+
+    def counting_read_bytes(self):
+        reads.append(self)
+        return original(self)
+
+    monkeypatch.setattr(Path, "read_bytes", counting_read_bytes)
+    for _ in range(5):
+        assert cache.get("absent") is None
+    assert reads == []  # misses resolved from the index alone
+    assert cache.stats.misses == 5
+
+    # Present keys still read from disk (the writer's own mirror is
+    # warm, so probe through a fresh instance).
+    fresh = DiskCache(tmp_path / "c")
+    assert fresh.get("present") == _payload(1)
+    assert len(reads) == 1
+
+
+def test_disk_cache_get_sees_sibling_writes(tmp_path):
+    """The indexed miss path still absorbs writes by other processes."""
+    reader = DiskCache(tmp_path / "c")
+    assert reader.get("late") is None
+    DiskCache(tmp_path / "c").put("late", _payload(9))
+    assert reader.get("late") == _payload(9)
+
+
+# ----------------------------------------------------------------------
+# resolve_backend: remote URLs and format plumbing
+# ----------------------------------------------------------------------
+def test_parse_remote_url_variants():
+    assert parse_remote_url("remote://host:123") == ("host", 123, None)
+    assert parse_remote_url("remote://10.0.0.1:8712/var/fb") == (
+        "10.0.0.1",
+        8712,
+        "/var/fb",
+    )
+    for bad in ("remote://host", "remote://:123", "remote://host:abc", "x://h:1"):
+        with pytest.raises(ValueError):
+            parse_remote_url(bad)
+
+
+def test_resolve_backend_remote_variants(tmp_path):
+    backend = resolve_backend("remote://127.0.0.1:1")
+    assert isinstance(backend, RemoteCache)
+    assert backend.fallback is None
+    backend.close(timeout=0.1)
+
+    tiered = resolve_backend("remote://127.0.0.1:1", max_entries=16)
+    assert isinstance(tiered, TieredCache)
+    assert isinstance(tiered.tiers[0], MemoryCache)
+    assert isinstance(tiered.tiers[1], RemoteCache)
+    assert tiered.max_entries == 16
+    tiered.close()
+
+    root = tmp_path / "fb"
+    with_fallback = resolve_backend(f"remote://127.0.0.1:1{root}", format="json")
+    assert isinstance(with_fallback.fallback, DiskCache)
+    assert with_fallback.fallback.format == "json"
+    with_fallback.close(timeout=0.1)
+
+    # format needs a disk store to configure.
+    with pytest.raises(ValueError):
+        resolve_backend("remote://127.0.0.1:1", format="json")
+    with pytest.raises(ValueError):
+        resolve_backend(None, format="json")
+    with pytest.raises(ValueError):
+        resolve_backend(MemoryCache(), format="json")
+
+
+def test_resolve_backend_forwards_format_to_disk(tmp_path):
+    backend = resolve_backend(tmp_path / "c", format="json")
+    backend.put("k", _payload(1))
+    (shard,) = [p for p in (tmp_path / "c").rglob("k*") if p.is_file()]
+    assert shard.suffix == JSON_SUFFIX
+
+
+def test_evaluation_cache_remote_url_passthrough():
+    cache = EvaluationCache("remote://127.0.0.1:1")
+    assert isinstance(cache.backend, RemoteCache)
+    assert cache.path is None  # no disk root to report
+    cache.close_backend()
+
+
+def test_evaluation_cache_forwards_format(tmp_path):
+    cache = EvaluationCache(tmp_path / "c", format="json")
+    assert cache.backend.format == "json"
+
+
+def test_explorer_cache_format_plumbing(tmp_path):
+    explorer = Explorer(cache=str(tmp_path / "c"), cache_format="json")
+    assert explorer.cache.backend.format == "json"
+    with pytest.raises(ValueError):
+        Explorer(cache=EvaluationCache(), cache_format="json")
+    with pytest.raises(ValueError):
+        Explorer(cache_format="json")  # in-memory backend, no format
+
+
+# ----------------------------------------------------------------------
+# TieredCache over local tiers (no server needed)
+# ----------------------------------------------------------------------
+def test_tiered_cache_promotes_and_writes_through(tmp_path):
+    front = MemoryCache(max_entries=4)
+    back = DiskCache(tmp_path / "c")
+    tiered = TieredCache((front, back))
+
+    tiered.put("k", _payload(1))
+    assert front.get("k") == _payload(1)
+    assert back.get("k") == _payload(1)
+
+    front.clear()
+    assert tiered.get("k") == _payload(1)  # back tier answers...
+    assert front.get("k") == _payload(1)  # ...and the hit is promoted
+
+    assert len(tiered) == 1  # deepest tier is authoritative
+    assert tiered.stats.hits == 1
+
+
+def test_tiered_cache_lookup_many_merges_tiers(tmp_path):
+    front = MemoryCache()
+    back = DiskCache(tmp_path / "c")
+    back.put("deep", _payload(1))
+    tiered = TieredCache((front, back))
+    front.put("shallow", _payload(2))
+
+    found = tiered.lookup_many(["shallow", "deep", "absent"])
+    assert found == {"shallow": _payload(2), "deep": _payload(1)}
+    assert tiered.stats.hits == 2
+    assert tiered.stats.misses == 1
+    assert front.get("deep") == _payload(1)  # promoted by the bulk path
+
+
+def test_tiered_cache_clear_clears_all_tiers(tmp_path):
+    front = MemoryCache()
+    back = DiskCache(tmp_path / "c")
+    tiered = TieredCache((front, back))
+    tiered.put("k", _payload(1))
+    tiered.clear()
+    assert len(front) == 0
+    assert len(back) == 0
 
 
 # ----------------------------------------------------------------------

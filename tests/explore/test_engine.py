@@ -381,3 +381,55 @@ def test_pareto_refine_stays_inside_space_and_reuses_cache():
     for record in refined.pareto_front():
         key = (record.report.onchip_area_mm2, record.report.total_power_mw)
         assert key in exhaustive_front
+
+
+# ----------------------------------------------------------------------
+# Sweep sharding and shard-result merging
+# ----------------------------------------------------------------------
+def test_shard_points_partitions_space():
+    explorer = Explorer(_fir_space())
+    points = explorer.space.points()
+    shards = [explorer.shard_points(3, i) for i in range(3)]
+    assert sum(len(s) for s in shards) == len(points)
+    labels = [p.display_label for s in shards for p in s]
+    assert len(labels) == len(set(labels))  # disjoint
+    # The partition is deterministic across explorer instances.
+    again = Explorer(_fir_space())
+    assert [p.display_label for p in again.shard_points(3, 0)] == [
+        p.display_label for p in shards[0]
+    ]
+
+
+def test_shard_points_validates_arguments():
+    explorer = Explorer(_fir_space())
+    with pytest.raises(ValueError):
+        explorer.shard_points(0, 0)
+    with pytest.raises(ValueError):
+        explorer.shard_points(2, 2)
+    with pytest.raises(ValueError):
+        Explorer().shard_points(2, 0)  # no space, no points
+
+
+def test_merged_deduplicates_by_fingerprint(serial_result):
+    result, _ = serial_result
+    half = len(result.records) // 2
+    first = ExplorationResult(
+        space_name="fir",
+        strategy="shard",
+        records=list(result.records[:half]),
+        decisions={"a": "x"},
+    )
+    # Overlapping shards: the shared records must merge away.
+    second = ExplorationResult(
+        space_name="fir",
+        strategy="shard",
+        records=list(result.records[half - 1 :]),
+        decisions={"b": "y"},
+    )
+    merged = ExplorationResult.merged([first, second])
+    assert len(merged.records) == len(result.records)
+    assert merged.space_name == "fir"
+    assert merged.strategy == "shard"
+    assert merged.decisions == {"a": "x", "b": "y"}
+    with pytest.raises(ValueError):
+        ExplorationResult.merged([])
