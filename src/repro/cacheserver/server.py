@@ -82,6 +82,11 @@ class CacheServer:
         #: Serializes all backend access (handlers run on worker
         #: threads; backends are not internally synchronized).
         self.lock = threading.Lock()
+        #: Guards the counters alone.  Unlike ``lock`` it is never held
+        #: across backend (disk) I/O, so the event loop thread can bump
+        #: ``requests_total``/``errors`` without stalling behind a slow
+        #: GET/PUT batch.
+        self.counters_lock = threading.Lock()
         self.requests_total = 0
         self.keys_requested = 0
         self.keys_served = 0
@@ -103,6 +108,7 @@ class CacheServer:
                     payload = self.backend.get(key)
                     if payload is not None:
                         found[key] = payload
+        with self.counters_lock:
             self.keys_requested += len(keys)
             self.keys_served += len(found)
         return protocol.ok_records(found)
@@ -116,6 +122,7 @@ class CacheServer:
             else:
                 for key, payload in payloads.items():
                     self.backend.put(key, payload)
+        with self.counters_lock:
             self.keys_stored += len(payloads)
         return protocol.ok_count(len(payloads))
 
@@ -135,15 +142,19 @@ class CacheServer:
         with self.lock:
             entries = len(self.backend)
             backend_stats = self.backend.stats.to_dict()
+        with self.counters_lock:
+            counters = {
+                "requests": self.requests_total,
+                "keys_requested": self.keys_requested,
+                "keys_served": self.keys_served,
+                "keys_stored": self.keys_stored,
+                "errors": self.errors,
+            }
         return {
             "server": "repro.cacheserver",
             "protocol": protocol.CACHE_PROTOCOL_VERSION,
             "entries": entries,
-            "requests": self.requests_total,
-            "keys_requested": self.keys_requested,
-            "keys_served": self.keys_served,
-            "keys_stored": self.keys_stored,
-            "errors": self.errors,
+            **counters,
             "backend": type(self.backend).__name__,
             "backend_stats": backend_stats,
         }
@@ -161,10 +172,13 @@ class CacheServer:
     async def handle_frame(self, body: bytes, handshook: bool) -> Tuple[bytes, bool]:
         """Dispatch one request frame; returns (response, handshook).
 
-        GET/PUT/CLEAR touch the backend (possibly disk) and run on a
-        worker thread; the tiny introspection ops answer inline.
+        Every op that takes the backend lock — including HELLO and
+        LEN/STATS, which need ``len(backend)`` — runs on a worker
+        thread so a slow disk batch never stalls the event loop; only
+        protocol parsing happens inline.
         """
-        self.requests_total += 1
+        with self.counters_lock:
+            self.requests_total += 1
         try:
             opcode, operand = protocol.parse_request(body)
             if not handshook and opcode != protocol.OP_HELLO:
@@ -173,23 +187,26 @@ class CacheServer:
                 )
             if opcode == protocol.OP_HELLO:
                 protocol.parse_hello(operand)
-                return protocol.ok_payload(self.hello_payload()), True
+                payload = await asyncio.to_thread(self.hello_payload)
+                return protocol.ok_payload(payload), True
             if opcode == protocol.OP_GET:
                 return await asyncio.to_thread(self._handle_get, operand), True
             if opcode == protocol.OP_PUT:
                 return await asyncio.to_thread(self._handle_put, operand), True
             if opcode == protocol.OP_LEN:
-                return self._handle_len(), True
+                return await asyncio.to_thread(self._handle_len), True
             if opcode == protocol.OP_CLEAR:
                 return await asyncio.to_thread(self._handle_clear), True
             if opcode == protocol.OP_STATS:
-                return self._handle_stats(), True
+                return await asyncio.to_thread(self._handle_stats), True
             raise protocol.WireProtocolError(f"unknown opcode {opcode}")
         except protocol.WireProtocolError as exc:
-            self.errors += 1
+            with self.counters_lock:
+                self.errors += 1
             return protocol.error_response(str(exc)), handshook
         except Exception as exc:  # noqa: BLE001 - fenced per request
-            self.errors += 1
+            with self.counters_lock:
+                self.errors += 1
             return (
                 protocol.error_response(f"{type(exc).__name__}: {exc}"),
                 handshook,

@@ -612,6 +612,11 @@ class RemoteCache:
         self._state_lock = threading.Lock()
         self._flush_wakeup = threading.Condition(self._state_lock)
         self._pending: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        #: Entries taken out of ``_pending`` for a push that has not
+        #: landed yet.  Keeping them here keeps them visible to reads
+        #: (read-your-writes) and lets :meth:`flush` distinguish "queue
+        #: empty" from "queue drained".
+        self._inflight: Dict[str, Dict[str, Any]] = {}
         self._down_until = 0.0
         self._closed = False
         self._flusher: Optional[threading.Thread] = None
@@ -671,10 +676,15 @@ class RemoteCache:
                     f"cache server {self.host}:{self.port} is in its "
                     "retry cooldown"
                 )
+        # Framing the request can fail on its own (a body over the
+        # 64 MiB frame bound) — that is a client-side size error, not
+        # an outage: let FrameError propagate without closing a healthy
+        # socket or starting the retry cooldown.
+        frame = pack_frame(body)
         with self._io_lock:
             try:
                 sock = self._sock if self._sock is not None else self._connect_locked()
-                sock.sendall(pack_frame(body))
+                sock.sendall(frame)
                 return self._read_frame(sock)
             except (OSError, FrameError, wire.WireProtocolError) as exc:
                 self._close_socket_locked()
@@ -702,7 +712,8 @@ class RemoteCache:
     def lookup_many(self, keys: Sequence[str]) -> Dict[str, Dict[str, Any]]:
         """Bulk probe: queued writes, then one wire round trip.
 
-        Keys still sitting in the write-behind queue resolve locally
+        Keys still sitting in the write-behind queue — or taken out of
+        it for a push that has not landed yet — resolve locally
         (read-your-writes); the rest go to the server in a single
         ``GET`` frame, falling through to the ``fallback`` backend when
         the server is unreachable.
@@ -713,6 +724,8 @@ class RemoteCache:
         with self._state_lock:
             for key in unique:
                 payload = self._pending.get(key)
+                if payload is None:
+                    payload = self._inflight.get(key)
                 if payload is not None:
                     found[key] = dict(payload)
                 else:
@@ -791,7 +804,17 @@ class RemoteCache:
         while self._pending and len(batch) < self.flush_batch:
             key, payload = self._pending.popitem(last=False)
             batch[key] = payload
+            self._inflight[key] = payload
         return batch
+
+    def _store_on_fallback(self, entries: Mapping[str, Dict[str, Any]]) -> None:
+        with self._fallback_lock:
+            bulk = getattr(self.fallback, "store_many", None)
+            if bulk is not None:
+                bulk(entries)
+            else:
+                for key, payload in entries.items():
+                    self.fallback.put(key, payload)
 
     def _push(self, entries: Mapping[str, Dict[str, Any]]) -> bool:
         """Land a batch server-side, or on the fallback during outages.
@@ -803,30 +826,52 @@ class RemoteCache:
         try:
             wire.parse_count_response(self._rpc(wire.put_request(entries)))
             return True
+        except FrameError:
+            # The batch serialized past the frame bound — a client-side
+            # size problem, never an outage.  Split and retry; a single
+            # entry that is itself oversized is a poison entry, so land
+            # it on the fallback when there is one, else drop it rather
+            # than requeue it forever.
+            if len(entries) > 1:
+                items = list(entries.items())
+                mid = len(items) // 2
+                first = self._push(dict(items[:mid]))
+                second = self._push(dict(items[mid:]))
+                return first and second
+            if self.fallback is not None:
+                self._store_on_fallback(entries)
+            else:
+                self.stats.evictions += len(entries)
+            return True
         except (RemoteCacheError, wire.RemoteError):
             if self.fallback is None:
                 return False
-            with self._fallback_lock:
-                bulk = getattr(self.fallback, "store_many", None)
-                if bulk is not None:
-                    bulk(entries)
-                else:
-                    for key, payload in entries.items():
-                        self.fallback.put(key, payload)
+            self._store_on_fallback(entries)
             return True
+
+    def _finish_batch(self, entries: Mapping[str, Dict[str, Any]]) -> None:
+        """Retire a delivered batch and wake anyone waiting in flush()."""
+        with self._flush_wakeup:
+            for key in entries:
+                self._inflight.pop(key, None)
+            self._flush_wakeup.notify_all()
 
     def _requeue(self, entries: Dict[str, Dict[str, Any]]) -> None:
         with self._flush_wakeup:
+            for key in entries:
+                self._inflight.pop(key, None)
             # Undelivered entries go back to the *front* (oldest-first
             # order is preserved for the next attempt); the bound still
             # holds — beyond it the oldest entries are dropped and
-            # counted as evictions.
+            # counted as evictions.  Entries re-stored while the batch
+            # was in flight keep their fresher values (update() wins).
             fresh = self._pending
             self._pending = OrderedDict(entries)
             self._pending.update(fresh)
             while len(self._pending) > self.max_pending:
                 self._pending.popitem(last=False)
                 self.stats.evictions += 1
+            self._flush_wakeup.notify_all()
 
     def _flush_loop(self) -> None:
         while True:
@@ -836,7 +881,9 @@ class RemoteCache:
                 if not self._pending:
                     return  # closed and drained
                 batch = self._take_batch_locked()
-            if not self._push(batch):
+            if self._push(batch):
+                self._finish_batch(batch)
+            else:
                 self._requeue(batch)
                 with self._flush_wakeup:
                     if self._closed:
@@ -849,16 +896,37 @@ class RemoteCache:
         """Drain the write-behind queue now.
 
         Returns True once every queued entry has landed (server or
-        fallback); False if the server is unreachable with no fallback
-        to absorb the queue, or the timeout expired first.
+        fallback) — including batches the background flusher had
+        already taken but not yet delivered; False if the server is
+        unreachable with no fallback to absorb the queue, or the
+        timeout expired first.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
-            with self._state_lock:
-                if not self._pending:
+            with self._flush_wakeup:
+                if not self._pending and not self._inflight:
                     return True
+                if deadline is not None and time.monotonic() > deadline:
+                    return False
                 batch = self._take_batch_locked()
-            if not self._push(batch):
+                if not batch:
+                    # The background flusher owns every outstanding
+                    # entry; wait for it to deliver (or requeue) its
+                    # batch rather than reporting a drain that has not
+                    # happened yet.
+                    if deadline is None:
+                        self._flush_wakeup.wait(self.retry_seconds)
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            return False
+                        self._flush_wakeup.wait(
+                            min(self.retry_seconds, remaining)
+                        )
+                    continue
+            if self._push(batch):
+                self._finish_batch(batch)
+            else:
                 self._requeue(batch)
                 if deadline is None:
                     return False
@@ -870,11 +938,6 @@ class RemoteCache:
                 # retries; spend the timeout budget waiting it out —
                 # a restarted server is reached on a later pass.
                 time.sleep(min(self.retry_seconds, remaining))
-                continue
-            if deadline is not None and time.monotonic() > deadline:
-                with self._state_lock:
-                    drained = not self._pending
-                return drained
 
     # ------------------------------------------------------------------
     # The rest of the protocol
@@ -884,7 +947,7 @@ class RemoteCache:
             return wire.parse_count_response(self._rpc(wire.len_request()))
         except (RemoteCacheError, wire.RemoteError):
             with self._state_lock:
-                pending = len(self._pending)
+                pending = len(self._pending) + len(self._inflight)
             if self.fallback is not None:
                 with self._fallback_lock:
                     return len(self.fallback)
@@ -903,6 +966,7 @@ class RemoteCache:
         """
         with self._state_lock:
             self._pending.clear()
+            self._inflight.clear()
         try:
             wire.parse_response(self._rpc(wire.clear_request()))
         except (RemoteCacheError, wire.RemoteError):

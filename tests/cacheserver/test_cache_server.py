@@ -217,6 +217,25 @@ class TestSharedCorpus:
 
 # ----------------------------------------------------------------------
 # Outage behavior: read-through fallback, recovery
+class _GatedBackend(MemoryCache):
+    """Server backend whose store_many blocks until ``gate`` opens.
+
+    Holds a client batch in its in-flight window deterministically:
+    ``entered`` fires once the server is sitting on the batch.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.entered = threading.Event()
+        self.gate = threading.Event()
+
+    def store_many(self, payloads):
+        self.entered.set()
+        if not self.gate.wait(10):
+            raise RuntimeError("gate never opened")
+        return super().store_many(payloads)
+
+
 # ----------------------------------------------------------------------
 class TestFallback:
     def test_reads_fall_through_when_server_down(self, tmp_path):
@@ -257,6 +276,51 @@ class TestFallback:
         assert isinstance(backend.fallback, DiskCache)
         assert backend.fallback.root == root
         backend.close(timeout=1.0)
+
+    def test_flush_waits_for_inflight_batch(self):
+        """A batch the flusher has taken but not delivered is not drained.
+
+        flush() must not report True while the background flusher holds
+        an undelivered batch, and the batch's keys must stay readable
+        for the whole in-flight window (read-your-writes).
+        """
+        backend = _GatedBackend()
+        with CacheServerThread(
+            CacheServerConfig(host="127.0.0.1", port=0), backend=backend
+        ) as srv:
+            client = make_client(srv)
+            try:
+                client.put("k", {"v": 1})
+                # The server's store_many is now holding the batch the
+                # flusher sent: the entry is neither pending nor stored.
+                assert backend.entered.wait(10)
+                assert client.flush(timeout=0.3) is False
+                assert client.get("k") == {"v": 1}
+                backend.gate.set()
+                assert client.flush(timeout=10) is True
+                assert backend.get("k") == {"v": 1}
+            finally:
+                backend.gate.set()
+                client.close(timeout=5.0)
+
+    def test_oversized_entry_does_not_poison_queue(self, server, monkeypatch):
+        """A batch over the frame bound is split, not retried forever.
+
+        A single entry that cannot fit in one frame is dropped (counted
+        as an eviction) instead of being requeued as a poison batch;
+        the entries around it still land.
+        """
+        import repro.costs.report as report
+
+        monkeypatch.setattr(report, "FRAME_MAX_BYTES", 4096)
+        with make_client(server) as client:
+            client.put("small", {"v": 1})
+            client.put("big", {"blob": "x" * 8192})
+            client.put("small2", {"v": 2})
+            assert client.flush(timeout=10) is True
+            assert client.get("small") == {"v": 1}
+            assert client.get("small2") == {"v": 2}
+            assert client.stats.evictions >= 1
 
     def test_queue_survives_outage_until_server_returns(self, tmp_path):
         config = CacheServerConfig(
