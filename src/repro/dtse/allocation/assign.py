@@ -74,7 +74,9 @@ class NestLoad:
     per_group: Mapping[str, GroupNestLoad]
 
 
-def build_nest_loads(program: Program, budgets: Mapping[str, int]) -> Tuple[NestLoad, ...]:
+def build_nest_loads(
+    program: Program, budgets: Mapping[str, int]
+) -> Tuple[NestLoad, ...]:
     """Summarize each nest's per-group traffic for the page-mode model."""
     loads = []
     for nest in program.nests:

@@ -289,7 +289,9 @@ class BtpcStudy:
     # ------------------------------------------------------------------
     def render_all(self) -> str:
         """All four tables as text (the EXPERIMENTS.md payload)."""
-        sections = [render_cost_table(self.table1(), "Table 1: basic group structuring")]
+        sections = [
+            render_cost_table(self.table1(), "Table 1: basic group structuring")
+        ]
         sections.append(
             render_cost_table(self.table2(), "Table 2: memory hierarchy decision")
         )

@@ -28,6 +28,7 @@ strategy uniformly.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import math
 import threading
@@ -714,14 +715,27 @@ class Explorer:
                 pass
 
     @classmethod
-    def for_app(cls, name: str, constraints: Optional[Any] = None, **kwargs) -> "Explorer":
+    def for_app(
+        cls,
+        name: str,
+        constraints: Optional[Any] = None,
+        *,
+        precompiled: Optional[bool] = None,
+        **kwargs,
+    ) -> "Explorer":
         """An explorer over a registered workload's default space.
 
         ``Explorer.for_app("cavity", workers=4)`` is the one-liner from
         registry to sweep; keyword arguments pass through to the
-        constructor.
+        constructor.  ``precompiled`` is forwarded to
+        :meth:`DesignSpace.for_app` — a compiled spacecache artifact
+        (see :mod:`repro.explore.spacecache`) warms the space instantly
+        instead of rebuilding variant programs.
         """
-        return cls(DesignSpace.for_app(name, constraints), **kwargs)
+        return cls(
+            DesignSpace.for_app(name, constraints, precompiled=precompiled),
+            **kwargs,
+        )
 
     # ------------------------------------------------------------------
     # Request resolution
@@ -764,6 +778,78 @@ class Explorer:
             seed=request.seed,
         )
 
+    def fingerprint_points(self, points: Sequence[DesignPoint]) -> List[str]:
+        """Content addresses for a whole batch in one assembly pass.
+
+        Byte-identical to :meth:`fingerprint_point` per point, but the
+        batch shares everything shareable: the canonical program and
+        library fragments are fetched **once per distinct axis value**
+        (not per point), the knob segments — area weight, frame time,
+        seed, each distinct cycle budget and on-chip count — are
+        serialized once, and each point then pays one string join plus
+        one SHA-256.  No :class:`PmmRequest` (or any other per-point
+        object) is constructed.
+
+        When the space carries a precomputed fingerprint table (the
+        spacecache load path) and this explorer's knobs match it, a
+        point resolves to one dictionary probe; coordinates outside the
+        table fall back to live assembly within the same pass.
+        """
+        space = self.space
+        if space is None:
+            raise ValueError("explorer has no design space")
+        table = space.precomputed_fingerprints(self.area_weight, self.seed)
+        dumps = json.dumps
+        sha256 = hashlib.sha256
+        prefix = (
+            f'{{"area_weight":{dumps(float(self.area_weight))},"cycle_budget":'
+        )
+        frame_mid = f',"frame_time_s":{dumps(float(space.frame_time_s))},"library":'
+        suffix = f',"seed":{dumps(self.seed)}}}'
+        budget_txt: Dict[float, str] = {}
+        onchip_txt: Dict[Optional[int], str] = {}
+        library_json: Dict[str, str] = {}
+        program_json: Dict[str, str] = {}
+        fingerprints: List[str] = []
+        for point in points:
+            if table is not None:
+                cached = table.get(
+                    (
+                        point.variant,
+                        point.budget_fraction,
+                        point.n_onchip,
+                        point.library,
+                    )
+                )
+                if cached is not None:
+                    fingerprints.append(cached)
+                    continue
+            budget = budget_txt.get(point.budget_fraction)
+            if budget is None:
+                budget = budget_txt[point.budget_fraction] = dumps(
+                    float(space.effective_budget(point.budget_fraction))
+                )
+            library = library_json.get(point.library)
+            if library is None:
+                library = library_json[point.library] = (
+                    space.fingerprint_library_json(point.library)
+                )
+            onchip = onchip_txt.get(point.n_onchip)
+            if onchip is None:
+                onchip = onchip_txt[point.n_onchip] = (
+                    f',"n_onchip":{dumps(point.n_onchip)},"program":'
+                )
+            program = program_json.get(point.variant)
+            if program is None:
+                program = program_json[point.variant] = (
+                    space.fingerprint_program_json(point.variant)
+                )
+            blob = "".join(
+                (prefix, budget, frame_mid, library, onchip, program, suffix)
+            )
+            fingerprints.append(sha256(blob.encode("utf-8")).hexdigest())
+        return fingerprints
+
     def shard_points(
         self,
         count: int,
@@ -791,12 +877,12 @@ class Explorer:
             if self.space is None:
                 raise ValueError("explorer has no design space to shard")
             points = self.space.points()
-        selected: List[DesignPoint] = []
-        for point in points:
-            fingerprint = self.fingerprint_point(point, self.request_for(point))
-            if int(fingerprint[:8], 16) % count == index:
-                selected.append(point)
-        return selected
+        fingerprints = self.fingerprint_points(points)
+        return [
+            point
+            for point, fingerprint in zip(points, fingerprints)
+            if int(fingerprint[:8], 16) % count == index
+        ]
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -815,23 +901,30 @@ class Explorer:
         ones.  Duplicate points within the batch are evaluated once:
         only the first occurrence of a fingerprint counts as the miss
         (and carries the oracle seconds); the rest are cache hits.
+
+        The batch is assembled **vectorized**: fingerprints come from
+        one :meth:`fingerprint_points` pass (shared fragments and knob
+        segments, no per-point churn) and a concrete
+        :class:`~repro.dtse.pipeline.PmmRequest` is built only for the
+        points that actually miss the cache — a warm sweep constructs
+        no request objects at all.
         """
-        requests = [self.request_for(point) for point in points]
-        fingerprints = [
-            self.fingerprint_point(point, request)
-            for point, request in zip(points, requests)
-        ]
+        if not points:
+            return []
+        if self.space is None:
+            raise ValueError("explorer has no design space")
+        fingerprints = self.fingerprint_points(points)
         # Reports are pinned batch-locally as soon as they are resolved:
         # a bounded backend may evict any entry between the cache probe
         # and record assembly, and correctness must not depend on
         # retention.
         known: Dict[str, CostReport] = {}
         fresh: Dict[str, PmmRequest] = {}
-        pending: Dict[str, PmmRequest] = {}
-        for fingerprint, request in zip(fingerprints, requests):
-            pending.setdefault(fingerprint, request)
+        pending: Dict[str, DesignPoint] = {}
+        for fingerprint, point in zip(fingerprints, points):
+            pending.setdefault(fingerprint, point)
         probed = self.cache.lookup_many(tuple(pending))
-        for fingerprint, request in pending.items():
+        for fingerprint, point in pending.items():
             report, error = probed.get(fingerprint, (None, None))
             if report is not None:
                 known[fingerprint] = report
@@ -844,19 +937,22 @@ class Explorer:
             if error is None:
                 error = self._errors.get(fingerprint)
             if error is None:
-                fresh[fingerprint] = request
+                # The only point on the batch path that materializes a
+                # request: the oracle needs one, a cache hit does not.
+                fresh[fingerprint] = self.request_for(point)
             elif self.on_error == "raise":
                 # A failure persisted by an earlier (skip-mode) run over
                 # a shared cache: honoring raise semantics beats
                 # silently dropping the point.
                 raise ExplorationError(
-                    f"evaluation of {request.label!r} failed: {error}"
+                    f"evaluation of {point.display_label!r} failed: {error}"
                 )
         computed = self._evaluate_misses(fresh)
         known.update(computed)
         records = []
         charged: set = set()  # computed fingerprints already attributed
-        for point, request, fingerprint in zip(points, requests, fingerprints):
+        program_names: Dict[str, str] = {}  # variant -> program.name
+        for point, fingerprint in zip(points, fingerprints):
             report = known.get(fingerprint)
             if report is None:  # failed and on_error == "skip"
                 if self.retain_records:
@@ -864,8 +960,9 @@ class Explorer:
                     if failure not in self.failures:
                         self.failures.append(failure)
                 continue
-            if report.label != request.label:
-                report = dataclasses.replace(report, label=request.label)
+            label = point.display_label
+            if report.label != label:
+                report = dataclasses.replace(report, label=label)
             # Only the first occurrence of a freshly computed
             # fingerprint is the miss; duplicates resolved from the
             # batch-local pin are hits and never re-attribute the
@@ -873,6 +970,11 @@ class Explorer:
             miss = fingerprint in computed and fingerprint not in charged
             if miss:
                 charged.add(fingerprint)
+            program_name = program_names.get(point.variant)
+            if program_name is None:
+                program_name = program_names[point.variant] = self.space.program(
+                    point.variant
+                ).name
             record = ExplorationRecord(
                 point=point,
                 report=report,
@@ -880,7 +982,7 @@ class Explorer:
                 seconds=self._seconds.get(fingerprint, 0.0) if miss else 0.0,
                 cache_hit=not miss,
                 step=step,
-                program_name=request.program.name,
+                program_name=program_name,
             )
             records.append(record)
         if self.retain_records:

@@ -1,0 +1,437 @@
+"""Ahead-of-time "space compile": snapshot built design spaces to disk.
+
+PR-5's profile says the warm path is no longer dominated by the oracle
+but by *space construction*: a fresh process (a restarted
+:mod:`repro.service`, a new :class:`~repro.explore.cache.RemoteCache`
+worker joining a sharded sweep) rebuilds every variant program and
+re-canonicalizes every fingerprint fragment before the first cache
+probe can even be issued.  This module kills that cold start: ``build``
+compiles an app's fully built :class:`~repro.explore.space.DesignSpace`
+— variant programs, the memoized canonical-JSON fragments from
+:mod:`repro.explore.fingerprint`, and the full table of per-point
+fingerprints — into a checksummed on-disk artifact, and ``load_space``
+rehydrates it in milliseconds.
+
+Artifacts are addressed by ``(app, constraints)`` — the filename embeds
+a digest of the constraints' canonical JSON — and validated on load by
+three independent staleness gates, each of which falls back to a live
+build with a warning rather than ever serving a wrong space:
+
+* a **checksum** (SHA-256 over the payload, stored in the header)
+  rejects truncated or corrupted files;
+* a **code-version salt** (SHA-256 over every source file of the
+  :mod:`repro` package, embedded in the payload) rejects artifacts
+  compiled by any other version of the code;
+* a **spot check** re-canonicalizes one loaded program and compares it
+  against its stored fragment, so even an undetectable pickle drift
+  cannot smuggle a stale fingerprint through.
+
+Use it from the CLI (``python -m repro.spacecache build|list|clear``),
+from the service (``python -m repro.service --precompile``), or not at
+all: ``AppSpec.space()`` loads artifacts opportunistically whenever a
+fresh one exists, and behaves exactly as before when none does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+import warnings
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..dtse.allocation.assign import DEFAULT_AREA_WEIGHT
+from .fingerprint import canonical_json, fingerprint_from_parts, seed_fragment
+from .space import DesignSpace, PointKey
+
+__all__ = [
+    "SpaceCacheError",
+    "artifact_path",
+    "build",
+    "cache_root",
+    "clear",
+    "code_salt",
+    "compile_space",
+    "enabled",
+    "ensure",
+    "forget",
+    "list_artifacts",
+    "load_space",
+]
+
+#: Artifact header magic; the trailing byte is the container version.
+MAGIC = b"RSPC\x01"
+#: Payload schema version (bump on any incompatible payload change).
+FORMAT_VERSION = 1
+#: Artifact filename suffix.
+SUFFIX = ".space"
+
+#: Environment overrides: artifact directory, and a global off switch
+#: (``REPRO_SPACECACHE=0`` disables opportunistic loads entirely).
+ENV_DIR = "REPRO_SPACECACHE_DIR"
+ENV_ENABLED = "REPRO_SPACECACHE"
+
+
+class SpaceCacheError(RuntimeError):
+    """A spacecache artifact could not be written."""
+
+
+# ----------------------------------------------------------------------
+# Location and keys
+# ----------------------------------------------------------------------
+def enabled() -> bool:
+    """Whether opportunistic artifact loads are globally enabled."""
+    return os.environ.get(ENV_ENABLED, "1") != "0"
+
+
+def cache_root(root: Optional[os.PathLike] = None) -> Path:
+    """The artifact directory: explicit arg > env override > default."""
+    if root is not None:
+        return Path(root)
+    override = os.environ.get(ENV_DIR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "spacecache"
+
+
+def _constraints_json(app: str, constraints: Optional[Any]) -> str:
+    if constraints is None:
+        from ..apps.registry import get_app
+
+        constraints = get_app(app).default_constraints()
+    return canonical_json(constraints)
+
+
+def artifact_path(
+    app: str,
+    constraints: Optional[Any] = None,
+    *,
+    root: Optional[os.PathLike] = None,
+) -> Path:
+    """Where the artifact for ``(app, constraints)`` lives.
+
+    The filename embeds a digest of the constraints' canonical JSON, so
+    distinct constraint configurations of one app coexist; the
+    code-version salt is *not* part of the name — it lives inside the
+    payload, so a stale artifact is detected (and warned about) rather
+    than silently shadowed by a fresh build under another name.
+    """
+    digest = hashlib.sha256(
+        _constraints_json(app, constraints).encode("utf-8")
+    ).hexdigest()
+    return cache_root(root) / f"{app}-{digest[:16]}{SUFFIX}"
+
+
+_SALT: Optional[str] = None
+
+
+def code_salt() -> str:
+    """SHA-256 over every source file of the :mod:`repro` package.
+
+    Any code change — a transform tweak, a canonicalization fix, a new
+    field on a cost dataclass — changes the salt and therefore
+    invalidates every artifact.  Deliberately coarse: over-invalidation
+    costs one rebuild, a stale space costs correctness.
+    """
+    global _SALT
+    if _SALT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _SALT = digest.hexdigest()
+    return _SALT
+
+
+# ----------------------------------------------------------------------
+# Compile
+# ----------------------------------------------------------------------
+def compile_space(
+    app: str, constraints: Optional[Any] = None
+) -> Tuple[DesignSpace, Dict[str, Any]]:
+    """Force-build an app's space and assemble its artifact payload.
+
+    Every variant program is built (transforms, profiling runs and all
+    — exactly the cost a cold process would pay), every canonical
+    fragment computed, and the full cartesian product fingerprinted at
+    the default explorer knobs.  Returns the built space alongside the
+    payload dict ``build`` serializes.
+    """
+    from ..apps.registry import get_app
+
+    spec = get_app(app)
+    if constraints is None:
+        constraints = spec.default_constraints()
+    space = spec.space(constraints, precompiled=False)
+    programs = {name: space.program(name) for name in space.variant_names}
+    program_fragments = {
+        name: space.fingerprint_program_json(name) for name in space.variant_names
+    }
+    library_fragments = {
+        name: space.fingerprint_library_json(name) for name in space.libraries
+    }
+    area_weight = float(DEFAULT_AREA_WEIGHT)
+    seed = 0
+    table: Dict[PointKey, str] = {}
+    for point in space.points():
+        table[(point.variant, point.budget_fraction, point.n_onchip, point.library)] = (
+            fingerprint_from_parts(
+                program_fragments[point.variant],
+                library_fragments[point.library],
+                cycle_budget=space.effective_budget(point.budget_fraction),
+                frame_time_s=space.frame_time_s,
+                n_onchip=point.n_onchip,
+                area_weight=area_weight,
+                seed=seed,
+            )
+        )
+    payload: Dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "salt": code_salt(),
+        "app": app,
+        "constraints_json": canonical_json(constraints),
+        "compiled_at": time.time(),
+        "space": {
+            "name": space.name,
+            "cycle_budget": space.cycle_budget,
+            "frame_time_s": space.frame_time_s,
+            "budget_fractions": space.budget_fractions,
+            "onchip_counts": space.onchip_counts,
+            "description": space.description,
+        },
+        "variants": [
+            (variant.name, programs[variant.name], variant.description)
+            for variant in space.variants
+        ],
+        "libraries": dict(space.libraries),
+        "program_fragments": program_fragments,
+        "library_fragments": library_fragments,
+        "fingerprints": {
+            "area_weight": area_weight,
+            "seed": seed,
+            "table": table,
+        },
+    }
+    return space, payload
+
+
+def build(
+    app: str,
+    constraints: Optional[Any] = None,
+    *,
+    root: Optional[os.PathLike] = None,
+) -> Path:
+    """Compile ``(app, constraints)`` and write its artifact atomically."""
+    path = artifact_path(app, constraints, root=root)
+    _, payload = compile_space(app, constraints)
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(hashlib.sha256(blob).digest())
+            handle.write(blob)
+        os.replace(tmp, path)
+    except OSError as exc:
+        tmp.unlink(missing_ok=True)
+        raise SpaceCacheError(f"cannot write artifact {path}: {exc}") from exc
+    _LOADED.pop(path, None)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Load
+# ----------------------------------------------------------------------
+#: path -> (mtime_ns, size, payload): repeated loads in one process
+#: reuse the unpickled payload, so the program objects stay
+#: identity-stable and the fragment memo keeps serving them.
+_LOADED: Dict[Path, Tuple[int, int, Dict[str, Any]]] = {}
+
+
+def forget() -> None:
+    """Drop the in-process payload memo (cold-start simulation hook)."""
+    _LOADED.clear()
+
+
+def _stale(path: Path, reason: str) -> None:
+    warnings.warn(
+        f"spacecache artifact {path} is unusable ({reason}); "
+        "falling back to a live space build",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _read_payload(path: Path) -> Optional[Dict[str, Any]]:
+    """The artifact's validated payload, or None (with a warning)."""
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    cached = _LOADED.get(path)
+    if (
+        cached is not None
+        and cached[0] == stat.st_mtime_ns
+        and cached[1] == stat.st_size
+    ):
+        return cached[2]
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        _stale(path, f"unreadable: {exc}")
+        return None
+    if not raw.startswith(MAGIC):
+        _stale(path, "bad magic header")
+        return None
+    digest = raw[len(MAGIC) : len(MAGIC) + 32]
+    blob = raw[len(MAGIC) + 32 :]
+    if len(digest) < 32 or hashlib.sha256(blob).digest() != digest:
+        _stale(path, "checksum mismatch (truncated or corrupted)")
+        return None
+    try:
+        payload = pickle.loads(blob)
+    except Exception as exc:  # noqa: BLE001 - any unpickling failure is staleness
+        _stale(path, f"cannot unpickle: {type(exc).__name__}: {exc}")
+        return None
+    if not isinstance(payload, dict):
+        _stale(path, "payload is not a mapping")
+        return None
+    if payload.get("format_version") != FORMAT_VERSION:
+        _stale(path, f"format version {payload.get('format_version')!r}")
+        return None
+    if payload.get("salt") != code_salt():
+        _stale(
+            path,
+            "code-version salt mismatch (recompile with "
+            "`python -m repro.spacecache build`)",
+        )
+        return None
+    # Spot check: one loaded program must re-canonicalize to its stored
+    # fragment byte for byte, or the whole artifact is distrusted.
+    variants = payload.get("variants") or ()
+    fragments = payload.get("program_fragments") or {}
+    if variants:
+        name, program, _ = variants[0]
+        if canonical_json(program) != fragments.get(name):
+            _stale(path, "program fragment spot-check failed")
+            return None
+    _LOADED[path] = (stat.st_mtime_ns, stat.st_size, payload)
+    return payload
+
+
+def load_space(
+    app: str,
+    constraints: Optional[Any] = None,
+    *,
+    root: Optional[os.PathLike] = None,
+) -> Optional[DesignSpace]:
+    """Rehydrate the compiled space for ``(app, constraints)``.
+
+    Returns ``None`` when no artifact exists or any staleness gate
+    fires (the latter warns); the caller then builds live.  A loaded
+    space carries prebuilt programs, pre-seeded canonical fragments and
+    the full precomputed fingerprint table, so explorers over it are
+    warm from the first probe.
+    """
+    path = artifact_path(app, constraints, root=root)
+    payload = _read_payload(path)
+    if payload is None:
+        return None
+    if payload.get("app") != app or payload.get("constraints_json") != (
+        _constraints_json(app, constraints)
+    ):
+        _stale(path, "artifact addresses a different app or constraints")
+        return None
+    meta = payload["space"]
+    space = DesignSpace(
+        name=meta["name"],
+        cycle_budget=meta["cycle_budget"],
+        frame_time_s=meta["frame_time_s"],
+        budget_fractions=meta["budget_fractions"],
+        onchip_counts=meta["onchip_counts"],
+        libraries=dict(payload["libraries"]),
+        description=meta["description"],
+    )
+    program_fragments = payload["program_fragments"]
+    for name, program, description in payload["variants"]:
+        space.add_variant(name, program=program, description=description)
+        seed_fragment(program, program_fragments[name])
+    for name, fragment in payload["library_fragments"].items():
+        seed_fragment(space.libraries[name], fragment)
+    fingerprints = payload["fingerprints"]
+    space.install_fingerprint_table(
+        fingerprints["table"],
+        area_weight=fingerprints["area_weight"],
+        seed=fingerprints["seed"],
+    )
+    return space
+
+
+# ----------------------------------------------------------------------
+# Introspection and maintenance
+# ----------------------------------------------------------------------
+def list_artifacts(
+    root: Optional[os.PathLike] = None,
+) -> List[Dict[str, Any]]:
+    """One summary dict per artifact in the cache directory.
+
+    Stale or unreadable artifacts are included with ``"fresh": False``
+    (listing must never crash on what load would reject); the summary
+    carries enough to decide what to rebuild or clear.
+    """
+    directory = cache_root(root)
+    if not directory.is_dir():
+        return []
+    entries: List[Dict[str, Any]] = []
+    for path in sorted(directory.glob(f"*{SUFFIX}")):
+        entry: Dict[str, Any] = {
+            "path": str(path),
+            "bytes": path.stat().st_size,
+            "fresh": False,
+        }
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            payload = _read_payload(path)
+        if payload is not None:
+            entry.update(
+                app=payload["app"],
+                variants=len(payload["variants"]),
+                points=len(payload["fingerprints"]["table"]),
+                compiled_at=payload["compiled_at"],
+                fresh=True,
+            )
+        entries.append(entry)
+    return entries
+
+
+def clear(root: Optional[os.PathLike] = None) -> int:
+    """Delete every artifact under the cache directory; returns count."""
+    directory = cache_root(root)
+    removed = 0
+    if directory.is_dir():
+        for path in directory.glob(f"*{SUFFIX}"):
+            path.unlink(missing_ok=True)
+            _LOADED.pop(path, None)
+            removed += 1
+    return removed
+
+
+def ensure(
+    app: str,
+    constraints: Optional[Any] = None,
+    *,
+    root: Optional[os.PathLike] = None,
+) -> Path:
+    """Load-or-compile: guarantee a fresh artifact exists for the app."""
+    path = artifact_path(app, constraints, root=root)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        if _read_payload(path) is not None:
+            return path
+    return build(app, constraints, root=root)

@@ -126,7 +126,9 @@ class BasicGroup:
             packing=self.packing * factor,
         )
 
-    def merged_with(self, other: "BasicGroup", name: Optional[str] = None) -> "BasicGroup":
+    def merged_with(
+        self, other: "BasicGroup", name: Optional[str] = None
+    ) -> "BasicGroup":
         """Merge with ``other`` into an array of records (paper Fig. 2b).
 
         Requires equal word counts (the groups are indexed together); the

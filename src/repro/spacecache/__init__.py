@@ -1,0 +1,37 @@
+"""``repro.spacecache`` — the space-compile CLI package.
+
+The implementation lives in :mod:`repro.explore.spacecache`; this
+package re-exports it so ``python -m repro.spacecache build|list|clear``
+sits alongside ``python -m repro.service`` and ``python -m
+repro.cacheserver`` as the third operational entry point.
+"""
+
+from ..explore.spacecache import (
+    SpaceCacheError,
+    artifact_path,
+    build,
+    cache_root,
+    clear,
+    code_salt,
+    compile_space,
+    enabled,
+    ensure,
+    forget,
+    list_artifacts,
+    load_space,
+)
+
+__all__ = [
+    "SpaceCacheError",
+    "artifact_path",
+    "build",
+    "cache_root",
+    "clear",
+    "code_salt",
+    "compile_space",
+    "enabled",
+    "ensure",
+    "forget",
+    "list_artifacts",
+    "load_space",
+]

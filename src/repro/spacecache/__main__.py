@@ -1,0 +1,119 @@
+"""``python -m repro.spacecache`` — manage compiled design spaces.
+
+Examples::
+
+    # Compile every registered app's default space ahead of time.
+    PYTHONPATH=src python -m repro.spacecache build
+
+    # Compile two apps into an explicit artifact directory.
+    PYTHONPATH=src python -m repro.spacecache build cavity wavelet \
+        --dir /var/tmp/repro-spaces
+
+    # Inspect and clean.
+    PYTHONPATH=src python -m repro.spacecache list
+    PYTHONPATH=src python -m repro.spacecache clear
+
+A compiled artifact warms every later ``Explorer.for_app`` /
+``DesignSpace.for_app`` / ``repro.service`` start instantly; stale
+artifacts (code changed, file corrupted) are detected on load and fall
+back to a live build, so ``build`` can never break anything — only
+speed it up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Optional, Sequence
+
+from ..apps.registry import list_apps
+from ..explore import spacecache
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.spacecache",
+        description="compile design spaces ahead of time (programs, "
+        "canonical fragments, fingerprint tables) so cold processes "
+        "warm instantly",
+    )
+    # ``--dir`` is accepted both before and after the subcommand; the
+    # subcommand copy uses SUPPRESS so it only overrides when given.
+    def add_dir(target: argparse.ArgumentParser, default: Any) -> None:
+        target.add_argument(
+            "--dir",
+            dest="root",
+            default=default,
+            help="artifact directory (default: $REPRO_SPACECACHE_DIR or "
+            "~/.cache/repro/spacecache)",
+        )
+
+    add_dir(parser, default=None)
+    commands = parser.add_subparsers(dest="command", required=True)
+    build = commands.add_parser(
+        "build", help="compile app spaces to artifacts (default: all apps)"
+    )
+    build.add_argument(
+        "apps",
+        nargs="*",
+        metavar="APP",
+        help="registered app names (default: every registered app)",
+    )
+    listing = commands.add_parser("list", help="show artifacts and their freshness")
+    clear = commands.add_parser("clear", help="delete every artifact")
+    for sub in (build, listing, clear):
+        add_dir(sub, default=argparse.SUPPRESS)
+    return parser
+
+
+def _cmd_build(apps: Sequence[str], root: Optional[str]) -> int:
+    from .. import apps as _apps  # noqa: F401 - registers built-ins
+
+    names = tuple(apps) or list_apps()
+    for name in names:
+        start = time.perf_counter()
+        path = spacecache.build(name, root=root)
+        elapsed = time.perf_counter() - start
+        size_kib = path.stat().st_size / 1024
+        print(f"{name}: {path} ({size_kib:.0f} KiB, {elapsed:.2f}s)")
+    return 0
+
+
+def _cmd_list(root: Optional[str]) -> int:
+    artifacts = spacecache.list_artifacts(root)
+    if not artifacts:
+        print(f"no artifacts under {spacecache.cache_root(root)}")
+        return 0
+    for entry in artifacts:
+        if entry["fresh"]:
+            stamp = time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.localtime(entry["compiled_at"])
+            )
+            print(
+                f"{entry['app']}: {entry['path']} "
+                f"({entry['variants']} variants, {entry['points']} points, "
+                f"{entry['bytes'] / 1024:.0f} KiB, compiled {stamp})"
+            )
+        else:
+            print(f"STALE: {entry['path']} ({entry['bytes']} bytes)")
+    return 0
+
+
+def _cmd_clear(root: Optional[str]) -> int:
+    removed = spacecache.clear(root)
+    print(f"removed {removed} artifact(s) from {spacecache.cache_root(root)}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "build":
+        return _cmd_build(args.apps, args.root)
+    if args.command == "list":
+        return _cmd_list(args.root)
+    return _cmd_clear(args.root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
