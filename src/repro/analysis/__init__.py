@@ -1,0 +1,44 @@
+"""Repo-aware static analysis for the repro serving stack.
+
+``python -m repro.analysis check src/repro`` runs the rule pack
+(RA001–RA006, :mod:`repro.analysis.rules`) over the tree and exits
+nonzero on any unsuppressed finding; ``list-rules`` and ``explain``
+document the pack from the same metadata the engine runs.  See
+``src/repro/analysis/README.md`` for the rule table and the historical
+bug behind each rule.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    PARSE_RULE,
+    REPORT_VERSION,
+    Finding,
+    Module,
+    Report,
+    Rule,
+    Suppression,
+    collect_files,
+    load_module,
+    parse_suppressions,
+    run_check,
+)
+from .rules import RULES, all_rules, get_rule, select_rules
+
+__all__ = [
+    "PARSE_RULE",
+    "REPORT_VERSION",
+    "RULES",
+    "Finding",
+    "Module",
+    "Report",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "collect_files",
+    "get_rule",
+    "load_module",
+    "parse_suppressions",
+    "run_check",
+    "select_rules",
+]

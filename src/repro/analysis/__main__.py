@@ -1,0 +1,115 @@
+"""CLI for :mod:`repro.analysis`.
+
+Exit codes (``check``): 0 clean, 1 unsuppressed findings, 2 usage or
+I/O error.  ``--json`` emits the schema-versioned report for tooling;
+the default text form is one sorted ``path:line:col RULE message`` per
+finding, stable across runs so CI diffs stay readable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .engine import run_check
+from .rules import all_rules, get_rule, select_rules
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-aware concurrency & protocol lints.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser(
+        "check", help="run the rule pack over files/directories"
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories (default: src/repro)",
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the schema-versioned JSON report",
+    )
+    check.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only this rule (id or name); repeatable",
+    )
+    check.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in text output",
+    )
+
+    commands.add_parser("list-rules", help="list the rule pack")
+
+    explain = commands.add_parser("explain", help="long-form description of one rule")
+    explain.add_argument("rule", help="rule id (RA001) or name")
+    return parser
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    try:
+        rules = select_rules(args.select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        report = run_check([Path(p) for p in args.paths], rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for warning in report.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        print(report.format_text(show_suppressed=args.show_suppressed))
+    return EXIT_OK if report.ok else EXIT_FINDINGS
+
+
+def _cmd_list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.rule_id}  {rule.name:<28} {rule.title}")
+    return EXIT_OK
+
+
+def _cmd_explain(rule_id: str) -> int:
+    try:
+        rule = get_rule(rule_id)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return EXIT_USAGE
+    print(f"{rule.rule_id} ({rule.name}) — {rule.title}")
+    print()
+    print(rule.explain)
+    print()
+    print(f"History: {rule.rationale}")
+    return EXIT_OK
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(list(argv) if argv is not None else None)
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "list-rules":
+        return _cmd_list_rules()
+    return _cmd_explain(args.rule)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

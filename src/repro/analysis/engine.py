@@ -1,0 +1,356 @@
+"""The static-analysis engine: files in, findings out.
+
+:mod:`repro.analysis` is a *repo-aware* lint layer: where ruff enforces
+generic Python hygiene, this engine enforces the concurrency and
+protocol invariants this codebase states in its docstrings — the ones
+whose violations produced the service drain deadlock, the write-behind
+flush race, and the torn stats reads that earlier PRs had to fix by
+hand.  Rules (:mod:`.rules`) are plain classes over the stdlib
+:mod:`ast`; the engine owns everything rule-independent:
+
+* **file collection** — directories recurse to every ``*.py`` file
+  (``__pycache__`` skipped), explicit files pass through;
+* **suppressions** — ``# repro: allow[RA001] reason`` on the flagged
+  line (or alone on the line above it) suppresses that rule there.  A
+  suppression **must** carry a reason: a bare ``allow`` is ignored with
+  a warning, so every silenced finding documents *why* it is safe.
+  Unknown rule ids warn instead of silently matching nothing;
+* **output** — a diff-friendly ``path:line:col RULE message`` text
+  form (sorted, stable) and a schema-versioned JSON form for tooling.
+
+A file that fails to parse is reported under the pseudo-rule ``RA000``
+and fails the check like any other finding — an unparseable file is an
+unanalyzed file.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "Module",
+    "Report",
+    "Rule",
+    "Suppression",
+    "collect_files",
+    "load_module",
+    "run_check",
+]
+
+#: Pseudo-rule id for files the engine could not parse.
+PARSE_RULE = "RA000"
+
+#: JSON report schema version (bump on breaking output changes).
+REPORT_VERSION = 1
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<ids>[^\]]*)\]\s*(?P<reason>.*?)\s*$"
+)
+
+
+# ----------------------------------------------------------------------
+# Data model
+# ----------------------------------------------------------------------
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    reason: str = ""
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+        if self.suppressed:
+            text += f"  [suppressed: {self.reason}]"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int  # the source line the comment sits on
+    target: int  # the line findings must sit on to match
+    rule_ids: Tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class Module:
+    """One parsed source file handed to every rule."""
+
+    path: Path
+    display: str
+    source: str
+    tree: ast.Module
+    suppressions: List[Suppression] = field(default_factory=list)
+
+
+class Rule:
+    """Base class of every rule in the pack.
+
+    Subclasses set the metadata class attributes and override one (or
+    both) of the check hooks.  ``check_module`` runs once per parsed
+    file; ``check_project`` runs once per engine invocation with every
+    parsed file — rules that relate *files to each other* (lock
+    ordering, protocol constant tables) live there.
+    """
+
+    rule_id: str = ""
+    name: str = ""  # short kebab-case handle
+    title: str = ""  # one-line summary
+    rationale: str = ""  # the historical bug this rule encodes
+    explain: str = ""  # long-form description for the CLI
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, modules: Sequence[Module]) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=module.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+@dataclass
+class Report:
+    """Everything one ``run_check`` produced."""
+
+    findings: List[Finding]
+    warnings: List[str]
+    files_checked: int
+    rules: List[str]
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": REPORT_VERSION,
+            "files_checked": self.files_checked,
+            "rules": list(self.rules),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "warnings": list(self.warnings),
+        }
+
+    def format_text(self, *, show_suppressed: bool = False) -> str:
+        lines = [
+            finding.format()
+            for finding in self.findings
+            if show_suppressed or not finding.suppressed
+        ]
+        visible = len(self.unsuppressed)
+        hidden = len(self.findings) - visible
+        summary = (
+            f"{visible} finding{'s' if visible != 1 else ''}"
+            f" ({hidden} suppressed), {self.files_checked} file"
+            f"{'s' if self.files_checked != 1 else ''} checked"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Parsing and suppressions
+# ----------------------------------------------------------------------
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Every ``# repro: allow[...]`` comment in ``source``.
+
+    A comment sharing its line with code targets that line; a comment
+    alone on its line targets the next line (the annotate-above style).
+    Only real ``COMMENT`` tokens count — the syntax appearing inside a
+    string literal (docstrings documenting it, say) never matches.
+    """
+    suppressions: List[Suppression] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions  # unparseable files are reported as RA000
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        index, column = token.start
+        ids = tuple(
+            part.strip()
+            for part in match.group("ids").split(",")
+            if part.strip()
+        )
+        text = lines[index - 1] if index - 1 < len(lines) else ""
+        comment_only = not text[:column].strip()
+        suppressions.append(
+            Suppression(
+                line=index,
+                target=index + 1 if comment_only else index,
+                rule_ids=ids,
+                reason=match.group("reason").strip(),
+            )
+        )
+    return suppressions
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    unique: Dict[Path, None] = {}
+    for file in files:
+        unique.setdefault(file.resolve(), None)
+    return sorted(unique)
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def load_module(path: Path) -> Tuple[Optional[Module], Optional[Finding]]:
+    """Parse one file: (module, None) or (None, parse-error finding)."""
+    display = _display_path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        return None, Finding(
+            rule=PARSE_RULE,
+            path=display,
+            line=getattr(exc, "lineno", None) or 1,
+            col=(getattr(exc, "offset", None) or 0) + 1,
+            message=f"file could not be analyzed: {type(exc).__name__}: {exc}",
+        )
+    return (
+        Module(
+            path=path,
+            display=display,
+            source=source,
+            tree=tree,
+            suppressions=parse_suppressions(source),
+        ),
+        None,
+    )
+
+
+# ----------------------------------------------------------------------
+# The check driver
+# ----------------------------------------------------------------------
+def _apply_suppressions(
+    findings: List[Finding],
+    modules: Dict[str, Module],
+    known_rules: Sequence[str],
+    warnings: List[str],
+) -> None:
+    known = set(known_rules)
+    by_site: Dict[Tuple[str, int], List[Suppression]] = {}
+    for module in modules.values():
+        for suppression in module.suppressions:
+            for rule_id in suppression.rule_ids:
+                if rule_id not in known:
+                    warnings.append(
+                        f"{module.display}:{suppression.line}: suppression "
+                        f"names unknown rule {rule_id!r}"
+                    )
+            if not suppression.rule_ids:
+                warnings.append(
+                    f"{module.display}:{suppression.line}: suppression "
+                    "names no rules and is ignored"
+                )
+                continue
+            if not suppression.reason:
+                warnings.append(
+                    f"{module.display}:{suppression.line}: suppression "
+                    "without a reason is ignored (write why it is safe)"
+                )
+                continue
+            by_site.setdefault(
+                (module.display, suppression.target), []
+            ).append(suppression)
+    for finding in findings:
+        if finding.rule == PARSE_RULE:
+            continue  # parse failures are never suppressable
+        for suppression in by_site.get((finding.path, finding.line), ()):
+            if finding.rule in suppression.rule_ids:
+                finding.suppressed = True
+                finding.reason = suppression.reason
+                break
+
+
+def run_check(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+) -> Report:
+    """Run ``rules`` over every file reachable from ``paths``."""
+    findings: List[Finding] = []
+    warnings: List[str] = []
+    modules: Dict[str, Module] = {}
+    files = collect_files([Path(path) for path in paths])
+    for file in files:
+        module, parse_error = load_module(file)
+        if parse_error is not None:
+            findings.append(parse_error)
+            continue
+        assert module is not None
+        modules[module.display] = module
+    for module in modules.values():
+        for rule in rules:
+            findings.extend(rule.check_module(module))
+    ordered = list(modules.values())
+    for rule in rules:
+        findings.extend(rule.check_project(ordered))
+    rule_ids = [rule.rule_id for rule in rules]
+    _apply_suppressions(findings, modules, rule_ids, warnings)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return Report(
+        findings=findings,
+        warnings=warnings,
+        files_checked=len(files),
+        rules=rule_ids,
+    )

@@ -59,7 +59,9 @@ class MacpReport:
             f"  fully sequential:       {self.sequential_cycles:>13,.0f} cycles",
             f"  required parallelism:   {self.parallelism_required:>13.2f}x",
         ]
-        lines.append(f"  {'nest':<14}{'body path':>10}{'body slots':>11}{'iterations':>14}")
+        lines.append(
+            f"  {'nest':<14}{'body path':>10}{'body slots':>11}{'iterations':>14}"
+        )
         for name, (path, iters, slots) in self.per_nest.items():
             lines.append(f"  {name:<14}{path:>10}{slots:>11}{iters:>14,.0f}")
         return "\n".join(lines)

@@ -257,7 +257,8 @@ class BtpcStudy:
             f"  ridge {ridge.words:>9,} words x {ridge.bitwidth:>2} bit",
             f"    ->  pyrridge {record.words:>9,} words x {record.bitwidth:>2} bit"
             " (record: value + class)",
-            f"    accesses {base_counts['pyr'].total + base_counts['ridge'].total:>12,.0f}"
+            "    accesses "
+            f"{base_counts['pyr'].total + base_counts['ridge'].total:>12,.0f}"
             f"  ->  {merge_counts['pyrridge'].total:>12,.0f}"
             "   (co-indexed pairs collapse into record accesses)",
         ]

@@ -684,6 +684,7 @@ class RemoteCache:
         with self._io_lock:
             try:
                 sock = self._sock if self._sock is not None else self._connect_locked()
+                # repro: allow[RA002] _io_lock exists to serialize this socket
                 sock.sendall(frame)
                 return self._read_frame(sock)
             except (OSError, FrameError, wire.WireProtocolError) as exc:
@@ -993,6 +994,33 @@ class RemoteCache:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+    def __del__(self) -> None:
+        # A module-scope RemoteCache collected at interpreter exit must
+        # not run close(): flush() would block on the network and the
+        # module globals it touches (time, the wire codec) may already
+        # be None'd.  Signal the daemon flusher, hang up the socket —
+        # instance state and builtins only, nothing that can block.
+        try:
+            wakeup = self.__dict__.get("_flush_wakeup")
+            if wakeup is not None and wakeup.acquire(blocking=False):
+                try:
+                    self._closed = True
+                    wakeup.notify_all()
+                finally:
+                    wakeup.release()
+            io_lock = self.__dict__.get("_io_lock")
+            if io_lock is not None and io_lock.acquire(blocking=False):
+                try:
+                    sock = self._sock
+                    self._sock = None
+                    if sock is not None:
+                        sock.close()
+                finally:
+                    io_lock.release()
+        # repro: allow[RA006] finalizer: logging/counters are torn down
+        except Exception:  # noqa: BLE001 - interpreter is exiting
+            pass
 
 
 # ----------------------------------------------------------------------

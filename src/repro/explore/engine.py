@@ -154,9 +154,9 @@ class EvaluationCache:
         self.misses = 0
         #: The decoded-report tier: fingerprint -> (report, error),
         #: LRU-ordered, bounded by the backend's ``max_entries``.
-        self._decoded: "OrderedDict[str, Tuple[Optional[CostReport], Optional[str]]]" = (
-            OrderedDict()
-        )
+        self._decoded: OrderedDict[
+            str, Tuple[Optional[CostReport], Optional[str]]
+        ] = OrderedDict()
         self.decoded_hits = 0
 
     def __len__(self) -> int:
@@ -659,6 +659,10 @@ class Explorer:
         self._errors: Dict[str, str] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        #: Discards whose ``shutdown`` itself raised (the pool was that
+        #: broken) — counted, not swallowed, so a pathological worker
+        #: setup is visible instead of silent.
+        self._pool_discard_failures = 0
         self._default_library: Optional[MemoryLibrary] = None
 
     # ------------------------------------------------------------------
@@ -698,7 +702,8 @@ class Explorer:
         try:
             pool.shutdown(wait=False)
         except Exception:  # noqa: BLE001 - the pool is already broken
-            pass
+            with self._pool_lock:
+                self._pool_discard_failures += 1
 
     def __enter__(self) -> "Explorer":
         return self
@@ -707,12 +712,18 @@ class Explorer:
         self.close()
 
     def __del__(self) -> None:
-        pool = getattr(self, "_pool", None)
-        if pool is not None:  # best effort: never block finalization
-            try:
+        # A module-scope Explorer can be collected during interpreter
+        # teardown, after module globals (ProcessPoolExecutor's own
+        # included) have been None'd — touch only the instance dict and
+        # builtins, never module-level names, and never block.
+        try:
+            pool = self.__dict__.get("_pool")
+            if pool is not None:
+                self.__dict__["_pool"] = None
                 pool.shutdown(wait=False)
-            except Exception:  # noqa: BLE001 - interpreter may be tearing down
-                pass
+        # repro: allow[RA006] finalizer: logging/counters are torn down
+        except Exception:  # noqa: BLE001 - interpreter is exiting
+            pass
 
     @classmethod
     def for_app(

@@ -124,8 +124,8 @@ class RegisterFileTechnology:
 class OnChipGenerator:
     """Generates :class:`MemoryModule` descriptors from the technology."""
 
-    def __init__(self, technology: OnChipTechnology = OnChipTechnology()) -> None:
-        self.technology = technology
+    def __init__(self, technology: OnChipTechnology | None = None) -> None:
+        self.technology = OnChipTechnology() if technology is None else technology
 
     def supports(self, words: int, width: int) -> bool:
         """Whether the generator can produce this geometry."""

@@ -723,6 +723,7 @@ class _ServerState:
                                 }
                             },
                         )
+                    # repro: allow[RA006] best-effort 500 on a dying connection
                     except Exception:  # noqa: BLE001
                         pass
                     break

@@ -1,0 +1,235 @@
+"""CLI contract: exit codes, output formats, suppression parsing."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    PARSE_RULE,
+    REPORT_VERSION,
+    all_rules,
+    parse_suppressions,
+    run_check,
+)
+from repro.analysis.__main__ import EXIT_FINDINGS, EXIT_OK, EXIT_USAGE, main
+
+_CLEAN = "def warm(path):\n    return path\n"
+_DIRTY = "async def f():\n    time.sleep(1)\n"
+
+
+@pytest.fixture()
+def clean_tree(tmp_path):
+    (tmp_path / "ok.py").write_text(_CLEAN, encoding="utf-8")
+    return tmp_path
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path):
+    (tmp_path / "bad.py").write_text(_DIRTY, encoding="utf-8")
+    return tmp_path
+
+
+# ----------------------------------------------------------------------
+# Exit codes
+# ----------------------------------------------------------------------
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_tree, capsys):
+        assert main(["check", str(clean_tree)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_findings_exit_one(self, dirty_tree, capsys):
+        assert main(["check", str(dirty_tree)]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "RA001" in out
+        assert "time.sleep" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "nope.txt"
+        assert main(["check", str(missing)]) == EXIT_USAGE
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_select_exits_two(self, clean_tree, capsys):
+        code = main(["check", str(clean_tree), "--select", "RA999"])
+        assert code == EXIT_USAGE
+        assert "RA999" in capsys.readouterr().err
+
+    def test_unknown_explain_exits_two(self, capsys):
+        assert main(["explain", "RA999"]) == EXIT_USAGE
+        assert "RA999" in capsys.readouterr().err
+
+    def test_select_limits_rules(self, dirty_tree, capsys):
+        # RA006 alone does not fire on the RA001 fixture.
+        code = main(["check", str(dirty_tree), "--select", "RA006"])
+        assert code == EXIT_OK
+        capsys.readouterr()
+
+    def test_parse_error_fails_check(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def f(:\n", encoding="utf-8")
+        assert main(["check", str(tmp_path)]) == EXIT_FINDINGS
+        assert PARSE_RULE in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Output formats
+# ----------------------------------------------------------------------
+class TestOutput:
+    def test_json_schema_stable(self, dirty_tree, capsys):
+        main(["check", str(dirty_tree), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload) == [
+            "files_checked",
+            "findings",
+            "rules",
+            "version",
+            "warnings",
+        ]
+        assert payload["version"] == REPORT_VERSION
+        assert payload["files_checked"] == 1
+        assert payload["rules"] == [r.rule_id for r in all_rules()]
+        (finding,) = payload["findings"]
+        assert sorted(finding) == [
+            "col",
+            "line",
+            "message",
+            "path",
+            "reason",
+            "rule",
+            "suppressed",
+        ]
+        assert finding["rule"] == "RA001"
+        assert finding["line"] == 2
+
+    def test_text_line_format(self, dirty_tree, capsys):
+        main(["check", str(dirty_tree)])
+        first = capsys.readouterr().out.splitlines()[0]
+        path, line, rest = first.split(":", 2)
+        assert path.endswith("bad.py")
+        assert line == "2"
+        col, rule, _message = rest.split(" ", 2)
+        assert col.isdigit()
+        assert rule == "RA001"
+
+    def test_suppressed_hidden_by_default(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(
+            "async def f():\n"
+            "    time.sleep(1)  # repro: allow[RA001] fixture: test double\n",
+            encoding="utf-8",
+        )
+        assert main(["check", str(tmp_path)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "time.sleep" not in out
+        assert "(1 suppressed)" in out
+
+    def test_show_suppressed_flag(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(
+            "async def f():\n"
+            "    time.sleep(1)  # repro: allow[RA001] fixture: test double\n",
+            encoding="utf-8",
+        )
+        code = main(["check", str(tmp_path), "--show-suppressed"])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "[suppressed: fixture: test double]" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["list-rules"]) == EXIT_OK
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.rule_id in out
+            assert rule.name in out
+
+    def test_explain(self, capsys):
+        assert main(["explain", "no-lock-across-await"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "RA002" in out
+        assert "History:" in out
+
+
+# ----------------------------------------------------------------------
+# Suppression-comment parsing edge cases
+# ----------------------------------------------------------------------
+class TestSuppressionParsing:
+    def test_same_line_targets_itself(self):
+        (s,) = parse_suppressions("x = 1  # repro: allow[RA001] why not\n")
+        assert (s.line, s.target) == (1, 1)
+        assert s.rule_ids == ("RA001",)
+        assert s.reason == "why not"
+
+    def test_comment_above_targets_next_line(self):
+        source = "# repro: allow[RA002] held on purpose\nx = 1\n"
+        (s,) = parse_suppressions(source)
+        assert (s.line, s.target) == (1, 2)
+
+    def test_multiple_rule_ids(self):
+        (s,) = parse_suppressions(
+            "# repro: allow[RA001, RA006] shared fixture\nx = 1\n"
+        )
+        assert s.rule_ids == ("RA001", "RA006")
+
+    def test_trailing_text_is_the_reason(self):
+        (s,) = parse_suppressions(
+            "x = 1  # repro: allow[RA001] loopback only; see PR 7 review\n"
+        )
+        assert s.reason == "loopback only; see PR 7 review"
+
+    def test_docstring_mention_not_a_suppression(self):
+        # The syntax documented in a string literal must not parse.
+        source = '"""Use # repro: allow[RA001] reason to suppress."""\nx = 1\n'
+        assert parse_suppressions(source) == []
+
+    def test_unknown_rule_id_warns(self, tmp_path):
+        (tmp_path / "f.py").write_text(
+            "x = 1  # repro: allow[RA042] not a rule\n", encoding="utf-8"
+        )
+        report = run_check([tmp_path], all_rules())
+        assert any("unknown rule 'RA042'" in w for w in report.warnings)
+
+    def test_reasonless_suppression_ignored_with_warning(self, tmp_path):
+        (tmp_path / "f.py").write_text(
+            "async def f():\n    time.sleep(1)  # repro: allow[RA001]\n",
+            encoding="utf-8",
+        )
+        report = run_check([tmp_path], all_rules())
+        assert not report.ok  # the finding is NOT suppressed
+        assert any("without a reason" in w for w in report.warnings)
+
+    def test_empty_bracket_warns(self, tmp_path):
+        (tmp_path / "f.py").write_text(
+            "x = 1  # repro: allow[] oops\n", encoding="utf-8"
+        )
+        report = run_check([tmp_path], all_rules())
+        assert any("names no rules" in w for w in report.warnings)
+
+    def test_parse_failure_never_suppressable(self, tmp_path):
+        (tmp_path / "f.py").write_text(
+            "# repro: allow[RA000] trust me\ndef f(:\n", encoding="utf-8"
+        )
+        report = run_check([tmp_path], all_rules())
+        assert not report.ok
+        assert report.findings[0].rule == PARSE_RULE
+        assert not report.findings[0].suppressed
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        (tmp_path / "f.py").write_text(
+            "async def f():\n"
+            "    time.sleep(1)  # repro: allow[RA006] wrong rule\n",
+            encoding="utf-8",
+        )
+        report = run_check([tmp_path], all_rules())
+        assert not report.ok
+
+
+def test_module_invocation_smoke(tmp_path):
+    # `python -m repro.analysis` end to end, the way CI runs it.
+    import subprocess
+    import sys
+
+    (tmp_path / "ok.py").write_text(_CLEAN, encoding="utf-8")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "check", str(tmp_path)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "0 findings" in proc.stdout
