@@ -711,6 +711,114 @@ class NoSwallowedExceptions(Rule):
 
 
 # ----------------------------------------------------------------------
+# RA007 — search strategies never evaluate inside propose()
+# ----------------------------------------------------------------------
+class StrategyProposePurity(Rule):
+    rule_id = "RA007"
+    name = "strategy-propose-purity"
+    title = "search strategies never evaluate inside propose()"
+    rationale = (
+        "PR 10: the propose/observe refactor moved evaluation, budget "
+        "charging and progress accounting into the SearchDriver; a "
+        "strategy that calls the oracle or the cache backend from "
+        "propose() evaluates outside the driver — its points are "
+        "invisible to budgets, round snapshots and the service's "
+        "single-flight table (the RA005 layering inversion, one layer "
+        "up)."
+    )
+    explain = (
+        "Any class defining both propose and observe is held to the "
+        "strategy protocol: propose() only *nominates* points — the "
+        "driver evaluates them, charges the budget and feeds the "
+        "records back through observe().  Inside propose() (and any "
+        "same-class helper it reaches) the rule flags oracle entry "
+        "points (run_pmm, run_pmm_request, PmmRequest, request.run()), "
+        "evaluation-engine calls (evaluate, evaluate_many, "
+        "evaluate_program) and cache-backend surfaces (lookup/"
+        "lookup_many/store/store_many, or get/put on a cache-named "
+        "receiver).  observe() may log and decide freely; it never "
+        "needs the oracle either, but decision logs and sessions live "
+        "there by design."
+    )
+
+    _ORACLE = {"run_pmm", "run_pmm_request", "PmmRequest"}
+    _EVALUATE = {"evaluate", "evaluate_many", "evaluate_program"}
+    _BACKEND = {"lookup", "lookup_many", "store", "store_many"}
+
+    def _classify(self, func: ast.expr) -> Optional[str]:
+        last = _last_segment(func)
+        if last in self._ORACLE:
+            return "the oracle"
+        if isinstance(func, ast.Attribute):
+            receiver = _dotted(func.value).lower()
+            if func.attr == "run" and "request" in receiver:
+                return "the oracle"
+            if func.attr in self._EVALUATE:
+                return "the evaluation engine"
+            if func.attr in self._BACKEND:
+                return "the cache backend"
+            if func.attr in {"get", "put"} and "cache" in receiver:
+                return "the cache backend"
+        return None
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                statement.name: statement
+                for statement in node.body
+                if isinstance(
+                    statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+            }
+            if "propose" not in methods or "observe" not in methods:
+                continue
+            yield from self._check_strategy(module, node, methods)
+
+    def _check_strategy(
+        self,
+        module: Module,
+        node: ast.ClassDef,
+        methods: Dict[str, ast.AST],
+    ) -> Iterator[Finding]:
+        seen: Set[str] = set()
+        stack = ["propose"]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for child in ast.walk(methods[name]):
+                if not isinstance(child, ast.Call):
+                    continue
+                func = child.func
+                # Follow same-class helpers (self._helper(...)) so the
+                # purity check covers propose's whole reachable slice.
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                    and func.attr in methods
+                    and func.attr not in seen
+                ):
+                    stack.append(func.attr)
+                label = self._classify(func)
+                if label is None:
+                    continue
+                via = "" if name == "propose" else f" (via helper {name!r})"
+                yield self.finding(
+                    module,
+                    child,
+                    f"strategy {node.name!r} calls {label} "
+                    f"({_dotted(func)}) inside propose(){via}; "
+                    "propose only nominates points — the driver "
+                    "evaluates, charges budgets and routes records "
+                    "back through observe()",
+                )
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 RULES: Tuple[Rule, ...] = (
@@ -720,6 +828,7 @@ RULES: Tuple[Rule, ...] = (
     ProtocolConsistency(),
     BackendContract(),
     NoSwallowedExceptions(),
+    StrategyProposePurity(),
 )
 
 

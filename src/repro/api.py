@@ -24,10 +24,13 @@ The pieces:
   variants (named transform thunks), cycle-budget fractions, on-chip
   memory counts and technology libraries.
 * **Search** with a pluggable strategy — :class:`ExhaustiveSweep`,
-  :class:`GreedyStepwise` (the paper's Figure-1 walk) or
-  :class:`ParetoRefine` — through an :class:`Explorer` that memoizes
-  every evaluation (content-addressed) and fans batches out over worker
-  processes.
+  :class:`GreedyStepwise` (the paper's Figure-1 walk),
+  :class:`ParetoRefine` or :class:`LinearFrontier` (adaptive
+  weighted-sum front bracketing) — through an :class:`Explorer` that
+  memoizes every evaluation (content-addressed) and fans batches out
+  over worker processes.  ``explorer.explore(strategy,
+  budget=SearchBudget(max_oracle_calls=50))`` runs the budgeted
+  propose/observe driver loop with per-round progress snapshots.
 * **Decide** with :func:`pareto_front` / :func:`knee_point`, and
   serialize everything (:class:`ExplorationResult` and
   :class:`CostReport` round-trip through JSON).
@@ -47,24 +50,36 @@ from .explore.cache import (
     TieredCache,
 )
 from .explore.engine import (
+    BudgetState,
     EvaluationCache,
     ExplorationError,
     ExplorationRecord,
     ExplorationResult,
     Explorer,
+    Proposal,
+    RoundSnapshot,
+    SearchBudget,
+    SearchDriver,
 )
 from .explore.fingerprint import (
     canonical_json,
     fingerprint_from_parts,
     fingerprint_request,
 )
-from .explore.pareto import dominates, knee_point, pareto_front
+from .explore.pareto import (
+    dominates,
+    front_coverage,
+    knee_point,
+    pareto_front,
+    pareto_indices,
+)
 from .explore.session import Evaluation, ExplorationSession
 from .explore.space import DesignPoint, DesignSpace, ProgramVariant
 from .explore.strategies import (
     ExhaustiveSweep,
     GreedyStep,
     GreedyStepwise,
+    LinearFrontier,
     ParetoRefine,
     SearchStrategy,
 )
@@ -74,6 +89,7 @@ from .memlib.library import MemoryLibrary, default_library
 __all__ = [
     "AppSpec",
     "BtpcStudy",
+    "BudgetState",
     "CacheBackend",
     "CacheStats",
     "CostReport",
@@ -91,6 +107,7 @@ __all__ = [
     "Explorer",
     "GreedyStep",
     "GreedyStepwise",
+    "LinearFrontier",
     "MemoryCost",
     "MemoryLibrary",
     "ParetoRefine",
@@ -99,7 +116,11 @@ __all__ = [
     "Program",
     "ProgramBuilder",
     "ProgramVariant",
+    "Proposal",
     "RemoteCache",
+    "RoundSnapshot",
+    "SearchBudget",
+    "SearchDriver",
     "SearchStrategy",
     "TieredCache",
     "Transform",
@@ -109,10 +130,12 @@ __all__ = [
     "dominates",
     "fingerprint_from_parts",
     "fingerprint_request",
+    "front_coverage",
     "get_app",
     "knee_point",
     "list_apps",
     "pareto_front",
+    "pareto_indices",
     "register_app",
     "render_cost_table",
     "run_pmm",

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
     Any,
+    Callable,
     Dict,
     List,
     Mapping,
@@ -61,15 +62,20 @@ from .fingerprint import (
     fingerprint_from_parts,
     fingerprint_request,
 )
-from .pareto import dominates, knee_point, pareto_front
+from .pareto import knee_point, pareto_front, pareto_indices
 from .space import DesignPoint, DesignSpace
 
 __all__ = [
+    "BudgetState",
     "EvaluationCache",
     "ExplorationError",
     "ExplorationRecord",
     "ExplorationResult",
     "Explorer",
+    "Proposal",
+    "RoundSnapshot",
+    "SearchBudget",
+    "SearchDriver",
     "canonical_value",
     "fingerprint_from_parts",
     "fingerprint_request",
@@ -395,6 +401,180 @@ class EvaluationCache:
 
 
 # ----------------------------------------------------------------------
+# Search budgets
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SearchBudget:
+    """Hard limits on one driver run; ``None`` axes are unlimited.
+
+    * ``max_points`` — evaluation *records* produced (cache hits
+      included): the knob for bounding result size and stream length.
+    * ``max_oracle_calls`` — points that could not be served from
+      cache; the knob that matters when the oracle dominates cost.
+    * ``max_seconds`` — wall clock for the whole run.
+    * ``max_rounds`` — propose/observe iterations.
+
+    Budgets are checked *between* rounds: a round in flight always
+    completes (its records are never discarded), so a run can overshoot
+    by at most one proposal — except ``max_points``, which additionally
+    trims the proposal that would cross it.
+    """
+
+    max_points: Optional[int] = None
+    max_oracle_calls: Optional[int] = None
+    max_seconds: Optional[float] = None
+    max_rounds: Optional[int] = None
+
+    #: The accepted (and serialized) budget axes, in check order.
+    FIELDS = ("max_points", "max_oracle_calls", "max_seconds", "max_rounds")
+
+    def __post_init__(self) -> None:
+        for name in ("max_points", "max_oracle_calls", "max_rounds"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(f"{name} must be an integer, got {value!r}")
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value!r}")
+        seconds = self.max_seconds
+        if seconds is not None:
+            if isinstance(seconds, bool) or not isinstance(
+                seconds, (int, float)
+            ):
+                raise ValueError(f"max_seconds must be a number, got {seconds!r}")
+            if not math.isfinite(seconds) or seconds <= 0:
+                raise ValueError(f"max_seconds must be > 0, got {seconds!r}")
+
+    @property
+    def unlimited(self) -> bool:
+        return all(getattr(self, name) is None for name in self.FIELDS)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Only the limited axes; an empty dict is the unlimited budget."""
+        return {
+            name: getattr(self, name)
+            for name in self.FIELDS
+            if getattr(self, name) is not None
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchBudget":
+        """Parse and validate; unknown keys are rejected, not ignored.
+
+        Raises :class:`ValueError` on malformed input — the service
+        boundary maps that to a 400, never a 500.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"budget must be an object, got {type(data).__name__}")
+        unknown = sorted(set(data) - set(cls.FIELDS))
+        if unknown:
+            raise ValueError(f"unknown budget field(s): {', '.join(unknown)}")
+        return cls(**{name: data[name] for name in cls.FIELDS if name in data})
+
+
+@dataclass
+class BudgetState:
+    """Live consumption counters, handed to ``propose`` every round."""
+
+    budget: SearchBudget = field(default_factory=SearchBudget)
+    rounds: int = 0
+    points: int = 0
+    oracle_calls: int = 0
+    elapsed_seconds: float = 0.0
+
+    def remaining_points(self) -> Optional[int]:
+        limit = self.budget.max_points
+        return None if limit is None else max(0, limit - self.points)
+
+    def remaining_oracle_calls(self) -> Optional[int]:
+        limit = self.budget.max_oracle_calls
+        return None if limit is None else max(0, limit - self.oracle_calls)
+
+    def remaining_seconds(self) -> Optional[float]:
+        limit = self.budget.max_seconds
+        return None if limit is None else max(0.0, limit - self.elapsed_seconds)
+
+    def exhausted_reason(self) -> Optional[str]:
+        """The first spent budget axis, or ``None`` while within budget."""
+        if self.remaining_points() == 0:
+            return "max_points"
+        if self.remaining_oracle_calls() == 0:
+            return "max_oracle_calls"
+        remaining = self.remaining_seconds()
+        if remaining is not None and remaining == 0.0:
+            return "max_seconds"
+        limit = self.budget.max_rounds
+        if limit is not None and self.rounds >= limit:
+            return "max_rounds"
+        return None
+
+
+@dataclass
+class RoundSnapshot:
+    """Per-round progress accounting, emitted by the driver.
+
+    ``oracle_calls`` charges every unique proposed point the round
+    could not serve as a cache-hit record — fresh oracle runs and
+    skipped failures alike — so the count is exact on a cold cache and
+    a conservative upper bound on a warm one (a negatively-cached
+    failure skips the oracle but is still charged).
+    """
+
+    round: int
+    step: str
+    proposed: int
+    evaluated: int
+    cache_hits: int
+    oracle_calls: int
+    total_points: int
+    total_oracle_calls: int
+    elapsed_seconds: float
+    front_size: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "round": self.round,
+            "step": self.step,
+            "proposed": self.proposed,
+            "evaluated": self.evaluated,
+            "cache_hits": self.cache_hits,
+            "oracle_calls": self.oracle_calls,
+            "total_points": self.total_points,
+            "total_oracle_calls": self.total_oracle_calls,
+            "elapsed_seconds": self.elapsed_seconds,
+            "front_size": self.front_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RoundSnapshot":
+        return cls(
+            round=int(data.get("round", 0)),
+            step=data.get("step", ""),
+            proposed=int(data.get("proposed", 0)),
+            evaluated=int(data.get("evaluated", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            oracle_calls=int(data.get("oracle_calls", 0)),
+            total_points=int(data.get("total_points", 0)),
+            total_oracle_calls=int(data.get("total_oracle_calls", 0)),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            front_size=int(data.get("front_size", 0)),
+        )
+
+
+@dataclass
+class Proposal:
+    """One strategy round: the points to evaluate plus their step label.
+
+    ``propose`` may also return a bare point sequence (the driver wraps
+    it) or ``None``/an empty proposal to signal convergence.
+    """
+
+    points: List[DesignPoint]
+    step: str = ""
+
+
+# ----------------------------------------------------------------------
 # Records and result sets
 # ----------------------------------------------------------------------
 @dataclass
@@ -446,22 +626,31 @@ class ExplorationResult:
     records: List[ExplorationRecord] = field(default_factory=list)
     #: Step name -> chosen label (greedy walks record their decisions).
     decisions: Dict[str, str] = field(default_factory=dict)
+    #: The budget the driver ran under; ``None`` for unlimited runs
+    #: (including legacy results parsed from pre-budget JSON).
+    budget: Optional[SearchBudget] = None
+    #: One snapshot per driver round, in order.
+    rounds: List[RoundSnapshot] = field(default_factory=list)
+    #: Points the run could not serve from cache (see
+    #: :class:`RoundSnapshot` for the exact charging rule).
+    oracle_calls: int = 0
+    #: How the run ended: ``"completed"`` (the strategy converged),
+    #: ``"budget_exhausted"``, ``"cancelled"``, or ``""`` for results
+    #: that never went through the driver.
+    stopped: str = ""
+    #: The spent budget axis (``"max_points"``, ...) when
+    #: ``stopped == "budget_exhausted"``; empty otherwise.
+    stop_reason: str = ""
 
     def reports(self) -> List[CostReport]:
         return [record.report for record in self.records]
 
     def pareto_front(self) -> List[ExplorationRecord]:
-        front = [
-            record
-            for record in self.records
-            if not any(
-                dominates(other.report, record.report) for other in self.records
-            )
+        costs = [
+            (r.report.onchip_area_mm2, r.report.total_power_mw)
+            for r in self.records
         ]
-        return sorted(
-            front,
-            key=lambda r: (r.report.onchip_area_mm2, r.report.total_power_mw),
-        )
+        return [self.records[i] for i in pareto_indices(costs)]
 
     def knee_point(self) -> ExplorationRecord:
         front = self.pareto_front()
@@ -506,10 +695,16 @@ class ExplorationResult:
             "strategy": self.strategy,
             "records": [record.to_dict() for record in self.records],
             "decisions": dict(self.decisions),
+            "budget": self.budget.to_dict() if self.budget is not None else None,
+            "rounds": [snapshot.to_dict() for snapshot in self.rounds],
+            "oracle_calls": self.oracle_calls,
+            "stopped": self.stopped,
+            "stop_reason": self.stop_reason,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExplorationResult":
+        budget = data.get("budget")
         return cls(
             space_name=data.get("space_name", ""),
             strategy=data.get("strategy", ""),
@@ -518,6 +713,14 @@ class ExplorationResult:
                 for record in data.get("records", ())
             ],
             decisions=dict(data.get("decisions", {})),
+            budget=SearchBudget.from_dict(budget) if budget else None,
+            rounds=[
+                RoundSnapshot.from_dict(snapshot)
+                for snapshot in data.get("rounds", ())
+            ],
+            oracle_calls=int(data.get("oracle_calls", 0)),
+            stopped=data.get("stopped", ""),
+            stop_reason=data.get("stop_reason", ""),
         )
 
     def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
@@ -1195,9 +1398,178 @@ class Explorer:
         return record, result
 
     # ------------------------------------------------------------------
-    def run(self, strategy: "SearchStrategy") -> ExplorationResult:  # noqa: F821
-        """Run a search strategy against this explorer."""
-        return strategy.run(self)
+    def explore(
+        self,
+        strategy: "SearchStrategy",  # noqa: F821
+        *,
+        budget: Optional[SearchBudget] = None,
+        on_round: Optional[Callable[[RoundSnapshot], None]] = None,
+        evaluate: Optional[
+            Callable[[Sequence[DesignPoint], str], List[ExplorationRecord]]
+        ] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> ExplorationResult:
+        """Drive a strategy through the budgeted propose/observe loop.
+
+        The canonical entry point since the driver refactor: every
+        keyword forwards to :class:`SearchDriver`.  ``explorer.run(s)``
+        and ``s.run(explorer)`` are thin shims over this.
+        """
+        driver = SearchDriver(
+            self,
+            budget=budget,
+            on_round=on_round,
+            evaluate=evaluate,
+            should_stop=should_stop,
+        )
+        return driver.run(strategy)
+
+    def run(
+        self,
+        strategy: "SearchStrategy",  # noqa: F821
+        *,
+        budget: Optional[SearchBudget] = None,
+    ) -> ExplorationResult:
+        """Run a search strategy against this explorer (compat shim)."""
+        return self.explore(strategy, budget=budget)
 
     def pareto_front(self) -> List[CostReport]:
         return pareto_front([record.report for record in self.records])
+
+
+# ----------------------------------------------------------------------
+# The driver loop
+# ----------------------------------------------------------------------
+class SearchDriver:
+    """Owns the propose/observe loop every strategy runs under.
+
+    The driver — not the strategy — evaluates batches, charges budgets,
+    snapshots progress and decides when to stop, so caching,
+    parallelism, budget enforcement and streaming apply to every
+    strategy uniformly.  Strategies only generate point batches
+    (:meth:`~SearchStrategy.propose`) and digest the evaluated records
+    (:meth:`~SearchStrategy.observe`).
+
+    Parameters
+    ----------
+    explorer:
+        The evaluation engine (cache, pool, failure policy).
+    budget:
+        Limits for this run; ``None`` or an all-``None``
+        :class:`SearchBudget` runs to strategy convergence.
+    on_round:
+        Called with each :class:`RoundSnapshot` as the round completes —
+        the service streams these as NDJSON ``progress`` events.
+    evaluate:
+        Override for the evaluation callable (defaults to the
+        explorer's :meth:`~Explorer.evaluate_many`).  The service
+        injects a callable that routes batches through its request
+        coalescer so concurrent sweeps share in-flight evaluations.
+    should_stop:
+        Polled once per round; returning ``True`` stops the run with
+        ``stopped == "cancelled"`` (the service wires this to client
+        disconnects).
+
+    The loop per round: ask the strategy for a proposal (``None`` or
+    empty means converged → ``"completed"``), stop *before* evaluating
+    if the budget is already spent (→ ``"budget_exhausted"`` with the
+    axis in ``stop_reason``), trim the batch to the remaining point
+    budget, evaluate, feed the records back through ``observe``, then
+    snapshot.  Asking for the proposal first keeps the labels honest: a
+    strategy whose last round exactly lands the budget still reports
+    ``"completed"``.
+    """
+
+    def __init__(
+        self,
+        explorer: Explorer,
+        *,
+        budget: Optional[SearchBudget] = None,
+        on_round: Optional[Callable[[RoundSnapshot], None]] = None,
+        evaluate: Optional[
+            Callable[[Sequence[DesignPoint], str], List[ExplorationRecord]]
+        ] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.explorer = explorer
+        self.budget = budget if budget is not None else SearchBudget()
+        self.on_round = on_round
+        self.should_stop = should_stop
+        self._evaluate = evaluate
+
+    def _coerce(self, proposal: Any) -> Tuple[List[DesignPoint], str]:
+        if isinstance(proposal, Proposal):
+            return list(proposal.points), proposal.step
+        return list(proposal), ""
+
+    def run(self, strategy: "SearchStrategy") -> ExplorationResult:  # noqa: F821
+        explorer = self.explorer
+        evaluate = (
+            self._evaluate if self._evaluate is not None else explorer.evaluate_many
+        )
+        state = BudgetState(budget=self.budget)
+        result = ExplorationResult(
+            space_name=explorer.space.name if explorer.space is not None else "",
+            strategy=strategy.name,
+            budget=None if self.budget.unlimited else self.budget,
+        )
+        strategy.begin(explorer)
+        start = time.perf_counter()
+        stopped, stop_reason = "completed", ""
+        while True:
+            state.elapsed_seconds = time.perf_counter() - start
+            if self.should_stop is not None and self.should_stop():
+                stopped = "cancelled"
+                break
+            proposal = strategy.propose(state)
+            if proposal is None:
+                break
+            points, step = self._coerce(proposal)
+            if not points:
+                break
+            reason = state.exhausted_reason()
+            if reason is not None:
+                stopped, stop_reason = "budget_exhausted", reason
+                break
+            remaining = state.remaining_points()
+            if remaining is not None and len(points) > remaining:
+                points = points[:remaining]
+            # Oracle-call trimming is conservative (every trimmed-in
+            # point might miss): exact on a cold cache, and on a warm
+            # one uncharged hits just roll into the next proposal.
+            remaining_calls = state.remaining_oracle_calls()
+            if remaining_calls is not None and len(points) > remaining_calls:
+                points = points[:remaining_calls]
+            records = evaluate(points, step)
+            # Budget charging: every unique proposed point the batch
+            # could not serve as a cache-hit record ran the oracle (or
+            # hit a skipped failure — conservatively charged too).
+            unique = len(dict.fromkeys(points))
+            cache_hits = sum(1 for record in records if record.cache_hit)
+            charged = max(0, unique - cache_hits)
+            state.rounds += 1
+            state.points += len(records)
+            state.oracle_calls += charged
+            state.elapsed_seconds = time.perf_counter() - start
+            result.records.extend(records)
+            strategy.observe(records)
+            snapshot = RoundSnapshot(
+                round=state.rounds,
+                step=step,
+                proposed=len(points),
+                evaluated=len(records),
+                cache_hits=cache_hits,
+                oracle_calls=charged,
+                total_points=state.points,
+                total_oracle_calls=state.oracle_calls,
+                elapsed_seconds=state.elapsed_seconds,
+                front_size=len(result.pareto_front()),
+            )
+            result.rounds.append(snapshot)
+            if self.on_round is not None:
+                self.on_round(snapshot)
+        result.oracle_calls = state.oracle_calls
+        result.stopped = stopped
+        result.stop_reason = stop_reason
+        strategy.finalize(result)
+        return result

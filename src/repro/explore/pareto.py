@@ -3,11 +3,18 @@
 The exploration produces many (area, power) points; designers pick from
 the non-dominated set.  Dominance here is over (on-chip area, total
 power): lower is better on both axes.
+
+:func:`pareto_front` runs in O(n log n) via :func:`pareto_indices` —
+sort by (area, power), then one sweep keeping every point that strictly
+improves the best power seen so far (plus exact duplicates of the point
+that set it).  Strategy rounds recompute the front over everything
+evaluated so far, so the front scan sits on the driver's hot path.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import math
+from typing import List, Sequence, Tuple
 
 from ..costs.report import CostReport
 
@@ -25,14 +32,66 @@ def dominates(first: CostReport, second: CostReport) -> bool:
     return not_worse and better
 
 
+def pareto_indices(costs: Sequence[Tuple[float, float]]) -> List[int]:
+    """Indices of the non-dominated cost pairs, lower-better on both axes.
+
+    Sort-then-sweep: after ordering by (x, y), a pair is on the front
+    iff its y strictly improves on the best y seen so far, or it equals
+    the pair that set that best on *both* axes (exact duplicates of a
+    front point dominate nothing and are dominated by nothing, so all
+    copies stay — matching the all-pairs definition).  Returned indices
+    follow the sorted (x, y) order; ties keep input order (the sort is
+    stable over the index sequence).
+    """
+    order = sorted(range(len(costs)), key=costs.__getitem__)
+    front: List[int] = []
+    best_x = best_y = math.inf
+    for index in order:
+        x, y = costs[index]
+        if y < best_y:
+            front.append(index)
+            best_x, best_y = x, y
+        elif y == best_y and x == best_x:
+            front.append(index)
+    return front
+
+
 def pareto_front(reports: Sequence[CostReport]) -> List[CostReport]:
     """The non-dominated subset, sorted by area."""
-    front = [
-        candidate
-        for candidate in reports
-        if not any(dominates(other, candidate) for other in reports)
+    costs = [(r.onchip_area_mm2, r.total_power_mw) for r in reports]
+    return [reports[index] for index in pareto_indices(costs)]
+
+
+def front_coverage(
+    reference: Sequence[CostReport],
+    candidates: Sequence[CostReport],
+    *,
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-9,
+) -> float:
+    """Fraction of ``reference`` front points recovered by ``candidates``.
+
+    A reference point counts as recovered when some candidate matches
+    it on both axes within the golden-harness float tolerance (the
+    strategies evaluate the *same* space, so a recovered front point is
+    numerically identical up to rounding noise).  Empty references are
+    trivially fully covered.
+    """
+    if not reference:
+        return 1.0
+    candidate_costs = [
+        (c.onchip_area_mm2, c.total_power_mw) for c in candidates
     ]
-    return sorted(front, key=lambda r: (r.onchip_area_mm2, r.total_power_mw))
+    recovered = 0
+    for point in reference:
+        area, power = point.onchip_area_mm2, point.total_power_mw
+        for c_area, c_power in candidate_costs:
+            if math.isclose(
+                area, c_area, rel_tol=rel_tol, abs_tol=abs_tol
+            ) and math.isclose(power, c_power, rel_tol=rel_tol, abs_tol=abs_tol):
+                recovered += 1
+                break
+    return recovered / len(reference)
 
 
 def knee_point(front: Sequence[CostReport]) -> CostReport:

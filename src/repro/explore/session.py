@@ -83,6 +83,20 @@ class ExplorationSession:
         )
         return result
 
+    def run(
+        self,
+        strategy: "SearchStrategy",  # noqa: F821 - import cycle
+        budget: Optional["SearchBudget"] = None,  # noqa: F821
+    ) -> "ExplorationResult":  # noqa: F821
+        """Drive a strategy through this session's explorer.
+
+        A convenience over ``self.explorer.explore(strategy,
+        budget=budget)`` — strategies that know about sessions
+        (:class:`~repro.explore.strategies.GreedyStepwise`) mirror their
+        walk into this decision log as usual.
+        """
+        return self.explorer.explore(strategy, budget=budget)
+
     def log_record(self, record: ExplorationRecord) -> Evaluation:
         """Mirror an engine record into the decision log."""
         evaluation = Evaluation(

@@ -28,6 +28,7 @@ from typing import (
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -303,14 +304,20 @@ class DesignSpace:
             label=label,
         )
 
-    def points(
+    def iter_points(
         self,
         variants: Optional[Sequence[str]] = None,
         budget_fractions: Optional[Sequence[float]] = None,
         onchip_counts: Optional[Sequence[Optional[int]]] = None,
         libraries: Optional[Sequence[str]] = None,
-    ) -> List[DesignPoint]:
-        """The cartesian product of the axes (optionally restricted)."""
+    ) -> Iterator[DesignPoint]:
+        """Lazily yield the cartesian product (optionally restricted).
+
+        The streaming form of :meth:`points`: the driver's batched
+        strategies (:class:`~repro.explore.strategies.ExhaustiveSweep`)
+        pull bounded chunks from this iterator, so a sweep over a
+        million-point space never holds more than one batch of points.
+        """
         names = tuple(variants) if variants is not None else self.variant_names
         fractions = (
             tuple(budget_fractions)
@@ -323,17 +330,81 @@ class DesignSpace:
         library_names = (
             tuple(libraries) if libraries is not None else tuple(self.libraries)
         )
-        return [
-            DesignPoint(
+        for name, fraction, count, library in itertools.product(
+            names, fractions, counts, library_names
+        ):
+            yield DesignPoint(
                 variant=name,
                 budget_fraction=fraction,
                 n_onchip=count,
                 library=library,
             )
-            for name, fraction, count, library in itertools.product(
-                names, fractions, counts, library_names
+
+    def points(
+        self,
+        variants: Optional[Sequence[str]] = None,
+        budget_fractions: Optional[Sequence[float]] = None,
+        onchip_counts: Optional[Sequence[Optional[int]]] = None,
+        libraries: Optional[Sequence[str]] = None,
+    ) -> List[DesignPoint]:
+        """The cartesian product of the axes (optionally restricted)."""
+        return list(
+            self.iter_points(
+                variants=variants,
+                budget_fractions=budget_fractions,
+                onchip_counts=onchip_counts,
+                libraries=libraries,
             )
-        ]
+        )
+
+    def restricted(
+        self,
+        variants: Optional[Sequence[str]] = None,
+        budget_fractions: Optional[Sequence[float]] = None,
+        onchip_counts: Optional[Sequence[Optional[int]]] = None,
+        libraries: Optional[Sequence[str]] = None,
+    ) -> "DesignSpace":
+        """A sub-space with the given axis values (defaults keep an axis).
+
+        Built programs, library objects and memoized fingerprint
+        fragments are shared with the parent (axis values must already
+        exist there — unknown names raise ``KeyError``), so restriction
+        is cheap and sub-space evaluations stay cache-compatible with
+        parent sweeps.  Strategy sweeps at the service boundary use
+        this to honor axis restrictions: neighbourhoods and corners
+        then come from the restricted axes, not the full space.
+        """
+        names = tuple(variants) if variants is not None else self.variant_names
+        fractions = (
+            tuple(budget_fractions)
+            if budget_fractions is not None
+            else self.budget_fractions
+        )
+        counts = (
+            tuple(onchip_counts) if onchip_counts is not None else self.onchip_counts
+        )
+        library_names = (
+            tuple(libraries) if libraries is not None else tuple(self.libraries)
+        )
+        sub = DesignSpace(
+            name=self.name,
+            cycle_budget=self.cycle_budget,
+            frame_time_s=self.frame_time_s,
+            variants=[self.variant(name) for name in names],
+            budget_fractions=fractions,
+            onchip_counts=counts,
+            libraries={name: self.library(name) for name in library_names},
+            description=self.description,
+        )
+        # Share built programs so variant thunks never rebuild, and
+        # keep the fingerprint table where the knob axes are intact
+        # (the table maps per-point coordinates, so a subset of points
+        # stays valid).
+        sub._programs = self._programs
+        if self._fingerprint_table is not None:
+            sub._fingerprint_table = self._fingerprint_table
+            sub._fingerprint_knobs = self._fingerprint_knobs
+        return sub
 
     def __len__(self) -> int:
         return (

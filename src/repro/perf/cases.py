@@ -33,6 +33,13 @@ measures a batch through an already-warm persistent pool, and
 ``oracle_single_btpc`` tracks the paper demonstrator's heavyweight
 oracle (tagged ``full`` — too slow for the CI quick subset).
 
+``frontier_vs_exhaustive_cavity`` (quick) and
+``frontier_vs_exhaustive_btpc`` (full) pit :class:`LinearFrontier` at a
+20% oracle-call budget against a cold exhaustive sweep of a densified
+space, asserting the driver refactor's headline contract — at least 95%
+of the exhaustive Pareto front at a fifth of the calls — and reporting
+both oracle-call counts.
+
 ``service_concurrent_clients`` load-tests the sweep server: N client
 threads stream overlapping warm-cache cavity sweeps over loopback HTTP
 (single-flight + shared cache guarantee zero oracle re-evaluations) and
@@ -59,7 +66,17 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Tuple
 
-from ..api import EvaluationCache, ExhaustiveSweep, Explorer
+from ..api import (
+    DesignSpace,
+    EvaluationCache,
+    ExhaustiveSweep,
+    Explorer,
+    LinearFrontier,
+    SearchBudget,
+    front_coverage,
+    pareto_front,
+)
+from ..explore.cache import MemoryCache
 from .harness import CaseRun, PerfCase, register_case
 
 #: Workloads whose oracle is cheap enough for repeated timing.
@@ -358,6 +375,94 @@ def _registry_resweep_remote_warm() -> PerfCase:
 
 
 # ----------------------------------------------------------------------
+# Frontier search vs the exhaustive oracle sweep
+# ----------------------------------------------------------------------
+def _densified_space(app: str, budget_fractions, onchip_counts) -> DesignSpace:
+    """The app's registered space with extra axis values.
+
+    The default spaces are small enough that a 20% oracle budget is a
+    rounding artifact; densifying the budget-fraction / on-chip axes
+    makes the frontier's sub-linear call count a real, measurable win.
+    """
+    space = DesignSpace.for_app(app)
+    space.budget_fractions = budget_fractions
+    space.onchip_counts = onchip_counts
+    return space
+
+
+def _frontier_vs_exhaustive(
+    name: str, app: str, budget_fractions, onchip_counts, tags
+) -> PerfCase:
+    def run(_: Any) -> CaseRun:
+        space = _densified_space(app, budget_fractions, onchip_counts)
+        with Explorer(space, cache=MemoryCache(), on_error="skip") as explorer:
+            full = explorer.run(ExhaustiveSweep())
+        reference = pareto_front([r.report for r in full.records])
+        budget = SearchBudget(
+            max_oracle_calls=max(1, math.floor(0.20 * full.oracle_calls))
+        )
+        with Explorer(space, cache=MemoryCache(), on_error="skip") as explorer:
+            frontier = explorer.explore(LinearFrontier(), budget=budget)
+        coverage = front_coverage(
+            reference, [r.report for r in frontier.records]
+        )
+        # The PR 10 acceptance contract, enforced on every perf run:
+        # >= 95% of the exhaustive front at <= 20% of its oracle calls.
+        assert coverage >= 0.95, f"{app} frontier coverage {coverage:.3f}"
+        assert frontier.oracle_calls <= 0.20 * full.oracle_calls, (
+            f"{app} frontier spent {frontier.oracle_calls} oracle calls "
+            f"vs exhaustive {full.oracle_calls}"
+        )
+        return CaseRun(
+            evals=full.oracle_calls + frontier.oracle_calls,
+            points=len(space),
+            cache={
+                "exhaustive_oracle_calls": full.oracle_calls,
+                "frontier_oracle_calls": frontier.oracle_calls,
+                "frontier_rounds": len(frontier.rounds),
+            },
+            notes=(
+                f"frontier {frontier.oracle_calls} vs exhaustive "
+                f"{full.oracle_calls} oracle calls, "
+                f"coverage {coverage:.3f}"
+            ),
+        )
+
+    return PerfCase(
+        name=name,
+        run=run,
+        tags=tags,
+        description=(
+            f"cold LinearFrontier at a 20% oracle budget vs a cold "
+            f"exhaustive sweep of a densified {app} space (asserts "
+            f">= 95% front coverage)"
+        ),
+    )
+
+
+def _frontier_vs_exhaustive_cavity() -> PerfCase:
+    return _frontier_vs_exhaustive(
+        "frontier_vs_exhaustive_cavity",
+        "cavity",
+        budget_fractions=(1.0, 0.95, 0.9, 0.85, 0.8),
+        onchip_counts=(None, 2, 4, 6),
+        tags=("quick", "frontier", "sweep"),
+    )
+
+
+def _frontier_vs_exhaustive_btpc() -> PerfCase:
+    # The paper demonstrator's heavyweight oracle: ~6 minutes for the
+    # pair of sweeps, so full-tagged like oracle_single_btpc.
+    return _frontier_vs_exhaustive(
+        "frontier_vs_exhaustive_btpc",
+        "btpc",
+        budget_fractions=(1.0, 0.9, 0.82, 0.7, 0.6, 0.5),
+        onchip_counts=(None, 4, 14),
+        tags=("full", "frontier", "sweep"),
+    )
+
+
+# ----------------------------------------------------------------------
 # Precompiled spaces: cold-start and first-result latency
 # ----------------------------------------------------------------------
 def _cold_process(app: str) -> None:
@@ -635,6 +740,8 @@ def register_builtin_cases(replace: bool = False) -> None:
         register_case(_sweep_cold(app), replace=replace)
         register_case(_resweep_memoized(app), replace=replace)
     register_case(_oracle_single("btpc"), replace=replace)
+    register_case(_frontier_vs_exhaustive_cavity(), replace=replace)
+    register_case(_frontier_vs_exhaustive_btpc(), replace=replace)
     register_case(_sweep_parallel_cavity(), replace=replace)
     register_case(_sweep_parallel_warm_pool_cavity(), replace=replace)
     register_case(_registry_sweep_warm_disk(), replace=replace)

@@ -26,7 +26,7 @@ import http.client
 import json
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
-from ..explore.engine import ExplorationRecord
+from ..explore.engine import ExplorationRecord, SearchBudget
 from ..explore.space import DesignPoint
 
 __all__ = ["ServiceClient", "ServiceError"]
@@ -173,6 +173,8 @@ class ServiceClient:
         onchip_counts: Optional[Sequence[Optional[int]]],
         libraries: Optional[Sequence[str]],
         batch_size: Optional[int],
+        strategy: Optional[str] = None,
+        budget: Optional[Union["SearchBudget", Mapping[str, Any]]] = None,
     ) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"app": app}
         if points is not None:
@@ -187,6 +189,12 @@ class ServiceClient:
             payload["libraries"] = list(libraries)
         if batch_size is not None:
             payload["batch_size"] = batch_size
+        if strategy is not None:
+            payload["strategy"] = strategy
+        if budget is not None:
+            payload["budget"] = (
+                budget.to_dict() if isinstance(budget, SearchBudget) else dict(budget)
+            )
         return payload
 
     def evaluate(
@@ -207,12 +215,18 @@ class ServiceClient:
         onchip_counts: Optional[Sequence[Optional[int]]] = None,
         libraries: Optional[Sequence[str]] = None,
         batch_size: Optional[int] = None,
+        strategy: Optional[str] = None,
+        budget: Optional[Union[SearchBudget, Mapping[str, Any]]] = None,
     ) -> Iterator[Dict[str, Any]]:
         """Stream a sweep's NDJSON events as they arrive.
 
         Yields the raw event dicts (``start``/``record``/``failure``/
-        ``end``).  Closing the generator early abandons the stream (the
-        connection is dropped and rebuilt lazily).
+        ``end``, plus per-round ``progress`` for strategy sweeps).
+        ``strategy`` asks the server to run a budgeted search strategy
+        ("exhaustive", "frontier", "pareto-refine") instead of
+        enumerating points; ``budget`` is a :class:`SearchBudget` or
+        its dict form.  Closing the generator early abandons the
+        stream (the connection is dropped and rebuilt lazily).
         """
         payload = self._sweep_payload(
             app,
@@ -222,6 +236,8 @@ class ServiceClient:
             onchip_counts,
             libraries,
             batch_size,
+            strategy,
+            budget,
         )
         response = self._request("POST", "/v1/sweep", payload)
         completed = False

@@ -14,20 +14,35 @@ Sweep request body (``POST /v1/sweep``)::
       "budget_fractions": [1.0, 0.9],   //   (used when "points" absent;
       "onchip_counts": [null, 6],       //    omitted axes take the
       "libraries": ["default"],         //    app's full default axis)
-      "batch_size": 32                  // optional per-request override
+      "batch_size": 32,                 // optional per-request override
+      "strategy": "frontier",           // optional driver-run search
+      "budget": {"max_oracle_calls": 20}  // optional SearchBudget dict
     }
+
+``strategy`` names a server-side search strategy (one of
+:data:`KNOWN_STRATEGIES`); the server then runs the budgeted
+propose/observe driver loop instead of sweeping explicit points, and
+the stream gains per-round ``progress`` events.  ``strategy`` is
+mutually exclusive with explicit ``points`` (the strategy proposes its
+own), and ``budget`` requires ``strategy``.  Requests without a
+``strategy`` field take the legacy code path and are byte-compatible
+with protocol version 1 clients.
 
 Stream events, in order::
 
     {"type": "start", "app": ..., "request_id": ..., "points": N}
     {"type": "record", "record": {...ExplorationRecord...}}   // 0..N
     {"type": "failure", "point": {...}, "error": "..."}       // 0..N
+    {"type": "progress", "progress": {...RoundSnapshot...}}   // strategy only
     {"type": "end", "summary": {...}}
 
 ``summary`` carries the per-request accounting the load bench and the
 acceptance tests key on: ``records``/``failures`` counts, ``coalesced``
 (points resolved by awaiting another request's in-flight evaluation)
-and a cache-stats snapshot.
+and a cache-stats snapshot.  Strategy runs extend it with ``strategy``,
+``rounds``, ``oracle_calls``, ``stopped`` and ``stop_reason`` (a
+budget-exhausted run still ends with a well-formed ``end`` event and
+HTTP 200 — exhaustion is an outcome, not an error).
 
 Errors (any endpoint) are single JSON objects::
 
@@ -43,11 +58,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..explore.engine import ExplorationRecord
+from ..explore.engine import ExplorationRecord, SearchBudget
 from ..explore.space import DesignPoint, DesignSpace
 
 #: Bumped on incompatible wire-format changes; served by ``/v1/health``.
 PROTOCOL_VERSION = 1
+
+#: Strategy names accepted by the ``strategy`` sweep-request field.
+KNOWN_STRATEGIES: Tuple[str, ...] = ("exhaustive", "frontier", "pareto-refine")
 
 
 class ProtocolError(ValueError):
@@ -131,6 +149,10 @@ class SweepRequest:
     onchip_counts: Optional[List[Optional[int]]] = None
     libraries: Optional[List[str]] = None
     batch_size: Optional[int] = None
+    #: Server-side search strategy; when set, the sweep runs the
+    #: budgeted driver loop instead of enumerating explicit points.
+    strategy: Optional[str] = None
+    budget: Optional[SearchBudget] = None
     #: Per explicit point: did the payload omit "library"?  An omitted
     #: library resolves against the app's own axis (first library) at
     #: :meth:`resolve_points` time — apps whose libraries carry real
@@ -171,6 +193,36 @@ class SweepRequest:
                 or batch_size < 1
             ):
                 raise ProtocolError("'batch_size' must be a positive integer")
+        strategy = payload.get("strategy")
+        if strategy is not None:
+            if not isinstance(strategy, str):
+                raise ProtocolError("'strategy' must be a string")
+            if strategy not in KNOWN_STRATEGIES:
+                raise ProtocolError(
+                    f"unknown strategy {strategy!r} "
+                    f"(known: {list(KNOWN_STRATEGIES)})",
+                    code="unknown_strategy",
+                )
+            if raw_points is not None:
+                raise ProtocolError(
+                    "'strategy' is mutually exclusive with explicit "
+                    "'points' (the strategy proposes its own)"
+                )
+        raw_budget = payload.get("budget")
+        budget: Optional[SearchBudget] = None
+        if raw_budget is not None:
+            if strategy is None:
+                raise ProtocolError("'budget' requires 'strategy'")
+            if not isinstance(raw_budget, Mapping):
+                raise ProtocolError(
+                    "'budget' must be an object", code="bad_budget"
+                )
+            try:
+                budget = SearchBudget.from_dict(raw_budget)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    f"invalid budget: {exc}", code="bad_budget"
+                ) from None
         return cls(
             app=app,
             points=points,
@@ -179,6 +231,8 @@ class SweepRequest:
             onchip_counts=_optional_count_list(payload, "onchip_counts"),
             libraries=_optional_str_list(payload, "libraries"),
             batch_size=batch_size,
+            strategy=strategy,
+            budget=budget,
             library_omitted=library_omitted,
         )
 
@@ -256,6 +310,11 @@ def failure_event(point: DesignPoint, error: str) -> Dict[str, Any]:
     return {"type": "failure", "point": point.to_dict(), "error": error}
 
 
+def progress_event(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    """A per-round driver snapshot (strategy sweeps only)."""
+    return {"type": "progress", "progress": dict(snapshot)}
+
+
 def end_event(summary: Mapping[str, Any]) -> Dict[str, Any]:
     return {"type": "end", "summary": dict(summary)}
 
@@ -271,15 +330,30 @@ class SweepSummary:
     coalesced: int = 0
     batches: int = 0
     cache: Dict[str, Any] = field(default_factory=dict)
+    #: Driver accounting, populated only for strategy sweeps.  The
+    #: legacy (no-``strategy``) summary must stay byte-compatible, so
+    #: these keys are emitted only when ``strategy`` is set.
+    strategy: Optional[str] = None
+    rounds: Optional[int] = None
+    oracle_calls: Optional[int] = None
+    stopped: Optional[str] = None
+    stop_reason: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "records": self.records,
             "failures": self.failures,
             "coalesced": self.coalesced,
             "batches": self.batches,
             "cache": dict(self.cache),
         }
+        if self.strategy is not None:
+            payload["strategy"] = self.strategy
+            payload["rounds"] = self.rounds
+            payload["oracle_calls"] = self.oracle_calls
+            payload["stopped"] = self.stopped
+            payload["stop_reason"] = self.stop_reason
+        return payload
 
 
 def chunked(points: Sequence[DesignPoint], size: int) -> List[Tuple[DesignPoint, ...]]:

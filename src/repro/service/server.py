@@ -55,6 +55,12 @@ from ..explore import spacecache
 from ..explore.cache import CacheBackend
 from ..explore.engine import EvaluationCache, ExplorationRecord, Explorer
 from ..explore.space import DesignPoint
+from ..explore.strategies import (
+    ExhaustiveSweep,
+    LinearFrontier,
+    ParetoRefine,
+    SearchStrategy,
+)
 from .coalesce import Outcome, SingleFlight
 from .protocol import (
     PROTOCOL_VERSION,
@@ -64,6 +70,7 @@ from .protocol import (
     chunked,
     end_event,
     failure_event,
+    progress_event,
     record_event,
     start_event,
 )
@@ -130,6 +137,22 @@ class ServiceConfig:
 
 #: One prepared point: (point, fingerprint, program name).
 _Prepared = Tuple[DesignPoint, str, str]
+
+
+def _make_strategy(name: str) -> SearchStrategy:
+    """A fresh strategy instance for one sweep request.
+
+    Names are validated at parse time against
+    :data:`~repro.service.protocol.KNOWN_STRATEGIES`; an unknown name
+    here means the two lists drifted apart.
+    """
+    if name == "exhaustive":
+        return ExhaustiveSweep()
+    if name == "frontier":
+        return LinearFrontier()
+    if name == "pareto-refine":
+        return ParetoRefine()
+    raise ProtocolError(f"unknown strategy {name!r}", code="unknown_strategy")
 
 
 # ----------------------------------------------------------------------
@@ -387,8 +410,15 @@ class SweepService:
         explorer: Explorer,
         batch: Sequence[DesignPoint],
         summary: SweepSummary,
-    ) -> List[Dict[str, Any]]:
-        """Evaluate one admitted batch into its stream events."""
+    ) -> Tuple[List[Dict[str, Any]], List[ExplorationRecord]]:
+        """Evaluate one admitted batch into its stream events.
+
+        Also returns the decoded records (successes only, in batch
+        order) so the strategy driver can feed them back through
+        ``observe`` and charge oracle budgets — waiter and in-batch
+        duplicate records carry ``cache_hit=True``, so coalesced points
+        are never double-charged.
+        """
         prepared = await asyncio.to_thread(self._prepare, explorer, batch)
         owned, waited = self._flight.claim([fp for _, fp, _ in prepared])
         owned_set = set(owned)
@@ -410,6 +440,7 @@ class SweepService:
             outcomes = await asyncio.shield(task)
         summary.batches += 1
         events: List[Dict[str, Any]] = []
+        records: List[ExplorationRecord] = []
         for point, fingerprint, program_name in prepared:
             if fingerprint in outcomes:
                 (report, error), record = outcomes[fingerprint]
@@ -446,11 +477,169 @@ class SweepService:
             summary.records += 1
             self.records_served += 1
             events.append(record_event(record))
+            records.append(record)
         # Defensive: every claim must retire even if event assembly
         # above ever grows an early exit.
         for fingerprint in owned_set - set(outcomes):
             self._flight.resolve(fingerprint, (None, "internal error"))
-        return events
+        return events, records
+
+    # ------------------------------------------------------------------
+    # Strategy sweeps (the budgeted propose/observe driver)
+    # ------------------------------------------------------------------
+    def _strategy_explorer(
+        self, request: SweepRequest, base: Explorer
+    ) -> Tuple[Explorer, Optional[Explorer]]:
+        """The explorer a strategy run drives, restricted if asked.
+
+        Axis restrictions build a per-request sub-space (sharing the
+        base space's programs and fingerprint table, so cache keys line
+        up with plain sweeps) wrapped in a private explorer over the
+        shared service cache; the second element is that explorer when
+        one was created, for the caller to close.
+        """
+        if not any(
+            (
+                request.variants,
+                request.budget_fractions,
+                request.onchip_counts,
+                request.libraries,
+            )
+        ):
+            return base, None
+        try:
+            space = base.space.restricted(
+                variants=request.variants,
+                budget_fractions=request.budget_fractions,
+                onchip_counts=request.onchip_counts,
+                libraries=request.libraries,
+            )
+        except KeyError as exc:
+            raise ProtocolError(str(exc), code="unknown_axis") from None
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+        private = Explorer(
+            space,
+            cache=self.cache,
+            workers=self.config.workers,
+            on_error="skip",
+            retain_records=False,
+        )
+        return private, private
+
+    async def _strategy_batch(
+        self,
+        explorer: Explorer,
+        points: List[DesignPoint],
+        batch_size: int,
+        summary: SweepSummary,
+        queue: "asyncio.Queue[Tuple[str, Any]]",
+    ) -> List[ExplorationRecord]:
+        """One driver proposal, evaluated loop-side through the
+        single-flight table; events stream out via ``queue``."""
+        records: List[ExplorationRecord] = []
+        for batch in chunked(points, batch_size):
+            events, batch_records = await self._batch_events(
+                explorer, batch, summary
+            )
+            for event in events:
+                queue.put_nowait(("event", event))
+            records.extend(batch_records)
+        return records
+
+    async def _strategy_events(
+        self, request: SweepRequest, base: Explorer
+    ) -> AsyncIterator[Dict[str, Any]]:
+        """The event stream of one strategy-driven sweep.
+
+        The driver loop runs on a worker thread; its ``evaluate``
+        callback crosses back onto the event loop so every oracle call
+        rides the same single-flight/batching path as plain sweeps
+        (concurrent strategy runs and sweeps coalesce against each
+        other).  Record and per-round ``progress`` events flow through
+        a queue as they happen; budget exhaustion ends the stream with
+        a well-formed ``end`` summary, not an error.
+        """
+        explorer, private = self._strategy_explorer(request, base)
+        budget = request.budget
+        admitted = len(explorer.space)
+        if budget is not None and budget.max_points is not None:
+            admitted = min(admitted, budget.max_points)
+        self._admit(admitted)
+        request_id = self._request_started()
+        loop = asyncio.get_running_loop()
+        queue: "asyncio.Queue[Tuple[str, Any]]" = asyncio.Queue()
+        cancelled = threading.Event()
+        summary = SweepSummary(strategy=request.strategy)
+        batch_size = request.batch_size or self.config.batch_size
+        strategy = _make_strategy(request.strategy or "")
+        driver_task: Optional["asyncio.Task[Any]"] = None
+
+        def finish(_task: Optional["asyncio.Task[Any]"] = None) -> None:
+            if _task is not None and not _task.cancelled():
+                _task.exception()  # consumed; the stream already ended
+            if private is not None:
+                private.close()
+            self._release(admitted)
+            self._request_finished()
+
+        try:
+            yield start_event(request.app, request_id, admitted)
+
+            def evaluate(
+                points: Sequence[DesignPoint], step: str
+            ) -> List[ExplorationRecord]:
+                future = asyncio.run_coroutine_threadsafe(
+                    self._strategy_batch(
+                        explorer, list(points), batch_size, summary, queue
+                    ),
+                    loop,
+                )
+                return future.result()
+
+            def on_round(snapshot: Any) -> None:
+                loop.call_soon_threadsafe(
+                    queue.put_nowait, ("event", progress_event(snapshot.to_dict()))
+                )
+
+            def run_driver() -> Any:
+                return explorer.explore(
+                    strategy,
+                    budget=budget,
+                    on_round=on_round,
+                    evaluate=evaluate,
+                    should_stop=cancelled.is_set,
+                )
+
+            driver_task = asyncio.create_task(asyncio.to_thread(run_driver))
+            driver_task.add_done_callback(
+                lambda t: queue.put_nowait(("done", t))
+            )
+            while True:
+                kind, payload = await queue.get()
+                if kind == "event":
+                    yield payload
+                    continue
+                task = payload
+                if task.cancelled():
+                    raise asyncio.CancelledError()
+                result = task.result()
+                break
+            summary.rounds = len(result.rounds)
+            summary.oracle_calls = result.oracle_calls
+            summary.stopped = result.stopped
+            summary.stop_reason = result.stop_reason
+            summary.cache = self.cache.stats_dict()
+            yield end_event(summary.to_dict())
+        finally:
+            cancelled.set()
+            if driver_task is not None and not driver_task.done():
+                # An abandoned stream: the driver sees ``should_stop``
+                # at its next round boundary; cleanup (and the drain
+                # accounting) waits for the thread, off this generator.
+                driver_task.add_done_callback(finish)
+            else:
+                finish(driver_task)
 
     async def sweep_events(
         self, request: SweepRequest
@@ -460,6 +649,14 @@ class SweepService:
             explorer = self.explorer(request.app)
         except KeyError as exc:
             raise ProtocolError(str(exc), status=404, code="unknown_app") from None
+        if request.strategy is not None:
+            stream = self._strategy_events(request, explorer)
+            try:
+                async for event in stream:
+                    yield event
+            finally:
+                await stream.aclose()
+            return
         points = await asyncio.to_thread(request.resolve_points, explorer.space)
         if not points:
             raise ProtocolError("request selects no points", code="empty_request")
@@ -470,7 +667,8 @@ class SweepService:
             summary = SweepSummary()
             batch_size = request.batch_size or self.config.batch_size
             for batch in chunked(points, batch_size):
-                for event in await self._batch_events(explorer, batch, summary):
+                events, _records = await self._batch_events(explorer, batch, summary)
+                for event in events:
                     yield event
             summary.cache = self.cache.stats_dict()
             yield end_event(summary.to_dict())

@@ -526,6 +526,138 @@ class TestNoSwallowedExceptions:
 
 
 # ----------------------------------------------------------------------
+# RA007 — strategies never evaluate inside propose()
+# ----------------------------------------------------------------------
+class TestStrategyProposePurity:
+    def test_oracle_call_in_propose(self):
+        # The layering inversion the PR 10 driver refactor forbids: a
+        # strategy running the oracle itself while nominating points.
+        findings = _check(
+            "RA007",
+            """\
+            class EagerStrategy:
+                def propose(self, state):
+                    result = run_pmm(self.program, self.budget)
+                    return [result.point]
+
+                def observe(self, records):
+                    pass
+            """,
+        )
+        assert len(findings) == 1
+        assert "the oracle" in findings[0].message
+        assert "EagerStrategy" in findings[0].message
+
+    def test_evaluate_many_in_propose(self):
+        findings = _check(
+            "RA007",
+            """\
+            class PeekingStrategy:
+                def propose(self, state):
+                    records = self.explorer.evaluate_many(self.batch, "peek")
+                    return [r.point for r in records if r.cache_hit]
+
+                def observe(self, records):
+                    pass
+            """,
+        )
+        assert len(findings) == 1
+        assert "the evaluation engine" in findings[0].message
+
+    def test_cache_backend_in_propose_helper(self):
+        # Hiding the probe in a same-class helper does not evade the
+        # rule: propose's reachable slice is scanned transitively.
+        findings = _check(
+            "RA007",
+            """\
+            class ProbingStrategy:
+                def propose(self, state):
+                    return self._warm_points()
+
+                def _warm_points(self):
+                    return [
+                        point
+                        for point in self.pending
+                        if self.cache.get(self.keys[point]) is not None
+                    ]
+
+                def observe(self, records):
+                    pass
+            """,
+        )
+        assert len(findings) == 1
+        assert "the cache backend" in findings[0].message
+        assert "via helper '_warm_points'" in findings[0].message
+
+    def test_clean_strategy_passes(self):
+        # The shape the real strategies landed in: propose nominates,
+        # observe digests, evaluation stays in the driver.
+        findings = _check(
+            "RA007",
+            """\
+            class LazySweep:
+                def propose(self, state):
+                    size = self.batch_size
+                    remaining = state.remaining_points()
+                    if remaining is not None:
+                        size = min(size, max(1, remaining))
+                    batch = list(itertools.islice(self._iterator, size))
+                    return batch or None
+
+                def observe(self, records):
+                    for record in records:
+                        self._seen[record.point] = record
+            """,
+        )
+        assert findings == []
+
+    def test_observe_may_touch_sessions_and_dict_get(self):
+        # observe() logging to a session and plain dict .get calls in
+        # propose are both fine — only oracle/engine/backend surfaces
+        # inside propose's slice are flagged.
+        findings = _check(
+            "RA007",
+            """\
+            class DecidingStrategy:
+                def propose(self, state):
+                    return [p for p in self.pending if self._seen.get(p) is None]
+
+                def observe(self, records):
+                    for record in records:
+                        self.session.log_record(record)
+                    self.session.choose(self.step, records[0].label)
+            """,
+        )
+        assert findings == []
+
+    def test_non_strategy_classes_exempt(self):
+        # A class without the propose/observe pair is not a strategy;
+        # the evaluation engine itself calls the oracle by design.
+        findings = _check(
+            "RA007",
+            """\
+            class Explorer:
+                def propose(self, state):
+                    return run_pmm(self.program, self.budget)
+            """,
+        )
+        assert findings == []
+
+    def test_real_strategies_are_clean(self):
+        rule = get_rule("RA007")
+        path = (
+            Path(__file__).resolve().parents[2]
+            / "src"
+            / "repro"
+            / "explore"
+            / "strategies.py"
+        )
+        source = path.read_text(encoding="utf-8")
+        module = _module(source, "src/repro/explore/strategies.py")
+        assert list(rule.check_module(module)) == []
+
+
+# ----------------------------------------------------------------------
 # Registry surface
 # ----------------------------------------------------------------------
 class TestRegistry:
@@ -537,6 +669,7 @@ class TestRegistry:
             "RA004",
             "RA005",
             "RA006",
+            "RA007",
         ]
 
     def test_metadata_present(self):

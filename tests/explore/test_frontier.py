@@ -1,0 +1,143 @@
+"""LinearFrontier: adaptive weighted-sum front bracketing.
+
+The headline acceptance of the PR 10 driver refactor: on the golden
+apps, LinearFrontier at a 20% oracle-call budget recovers at least 95%
+of the exhaustive Pareto front.  The spaces here are densified versions
+of the registered apps (extra budget fractions / on-chip counts) so a
+20% budget is a real constraint, not a rounding artifact — and the
+whole comparison stays in tier-1 time.
+"""
+
+import math
+
+from repro.api import (
+    DesignSpace,
+    ExhaustiveSweep,
+    Explorer,
+    LinearFrontier,
+    SearchBudget,
+    front_coverage,
+    pareto_front,
+)
+from repro.explore.cache import MemoryCache
+
+
+def _densified(app, budget_fractions, onchip_counts):
+    space = DesignSpace.for_app(app)
+    space.budget_fractions = budget_fractions
+    space.onchip_counts = onchip_counts
+    return space
+
+
+def _exhaustive(space):
+    with Explorer(space, cache=MemoryCache(), on_error="skip") as explorer:
+        return explorer.run(ExhaustiveSweep())
+
+
+def _frontier(space, budget):
+    with Explorer(space, cache=MemoryCache(), on_error="skip") as explorer:
+        return explorer.explore(LinearFrontier(), budget=budget)
+
+
+def _coverage_case(space):
+    """Run both strategies cold and return (coverage, frontier, full)."""
+    full = _exhaustive(space)
+    reference = pareto_front([r.report for r in full.records])
+    budget = SearchBudget(
+        max_oracle_calls=max(1, math.floor(0.20 * full.oracle_calls))
+    )
+    frontier = _frontier(space, budget)
+    coverage = front_coverage(reference, [r.report for r in frontier.records])
+    return coverage, frontier, full
+
+
+# ----------------------------------------------------------------------
+# Golden-front validation (the acceptance criterion)
+# ----------------------------------------------------------------------
+class TestGoldenCoverage:
+    def test_cavity_front_at_20_percent_budget(self):
+        space = _densified(
+            "cavity",
+            budget_fractions=(1.0, 0.95, 0.9, 0.85, 0.8),
+            onchip_counts=(None, 2, 4, 6),
+        )
+        coverage, frontier, full = _coverage_case(space)
+        assert coverage >= 0.95, f"cavity coverage {coverage:.3f}"
+        assert frontier.oracle_calls <= 0.20 * full.oracle_calls
+        assert frontier.stopped in ("completed", "budget_exhausted")
+
+    def test_wavelet_front_at_20_percent_budget(self):
+        space = _densified(
+            "wavelet",
+            budget_fractions=(1.0, 0.95, 0.9, 0.85),
+            onchip_counts=(None, 2, 4, 6),
+        )
+        coverage, frontier, full = _coverage_case(space)
+        assert coverage >= 0.95, f"wavelet coverage {coverage:.3f}"
+        assert frontier.oracle_calls <= 0.20 * full.oracle_calls
+
+
+# ----------------------------------------------------------------------
+# Mechanics
+# ----------------------------------------------------------------------
+class TestLinearFrontierMechanics:
+    def test_unbudgeted_run_converges_and_stays_on_front(self):
+        space = _densified(
+            "cavity", budget_fractions=(1.0, 0.9), onchip_counts=(None, 2)
+        )
+        with Explorer(space, cache=MemoryCache(), on_error="skip") as explorer:
+            result = explorer.explore(LinearFrontier())
+        assert result.stopped == "completed"
+        # Converged: every evaluated point is inside the space, nothing
+        # evaluated twice.
+        points = [record.point for record in result.records]
+        assert len(points) == len(set(points))
+        all_points = set(space.points())
+        assert all(point in all_points for point in points)
+        # The frontier's own front is the exhaustive front over what it
+        # evaluated — and its extremes bracket the space's extremes.
+        front = result.pareto_front()
+        assert front
+
+    def test_finds_every_variant_via_seeding(self):
+        # The categorical variant axis is unwalkable by scalarized
+        # descent; the default seeds put every variant on the spine.
+        space = _densified(
+            "cavity", budget_fractions=(1.0,), onchip_counts=(None,)
+        )
+        with Explorer(space, cache=MemoryCache(), on_error="skip") as explorer:
+            result = explorer.explore(LinearFrontier())
+        seen = {record.point.variant for record in result.records}
+        assert seen == set(space.variant_names)
+
+    def test_respects_oracle_budget_exactly(self):
+        space = _densified(
+            "cavity",
+            budget_fractions=(1.0, 0.95, 0.9, 0.85, 0.8),
+            onchip_counts=(None, 2, 4, 6),
+        )
+        result = _frontier(space, SearchBudget(max_oracle_calls=10))
+        assert result.oracle_calls <= 10
+
+    def test_progress_snapshots_track_front_growth(self):
+        space = _densified(
+            "cavity", budget_fractions=(1.0, 0.9), onchip_counts=(None, 2, 4)
+        )
+        snapshots = []
+        with Explorer(space, cache=MemoryCache(), on_error="skip") as explorer:
+            explorer.explore(LinearFrontier(), on_round=snapshots.append)
+        assert snapshots
+        assert [s.round for s in snapshots] == list(
+            range(1, len(snapshots) + 1)
+        )
+        sizes = [s.front_size for s in snapshots]
+        assert sizes[-1] >= sizes[0]
+
+    def test_empty_space_completes_with_no_records(self):
+        # Same contract as ExhaustiveSweep: a variant-less space is a
+        # graceful no-op, not an error.
+        space = DesignSpace("empty", cycle_budget=1000, frame_time_s=1e-3)
+        with Explorer(space, cache=MemoryCache()) as explorer:
+            result = explorer.explore(LinearFrontier())
+        assert result.stopped == "completed"
+        assert result.records == []

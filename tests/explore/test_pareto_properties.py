@@ -9,7 +9,15 @@ just the hand-picked shapes of the unit tests.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import CostReport, MemoryCost, dominates, knee_point, pareto_front
+from repro.api import (
+    CostReport,
+    MemoryCost,
+    dominates,
+    front_coverage,
+    knee_point,
+    pareto_front,
+    pareto_indices,
+)
 from repro.memlib.module import MemoryKind
 
 #: Cost axes: non-negative, finite, spanning several orders of magnitude.
@@ -104,6 +112,66 @@ def test_front_is_sorted_by_area_then_power(batch):
     front = pareto_front(batch)
     keys = [cost_pair(r) for r in front]
     assert keys == sorted(keys)
+
+
+# ----------------------------------------------------------------------
+# The O(n log n) sort-then-sweep vs the all-pairs definition
+# ----------------------------------------------------------------------
+def all_pairs_front(batch):
+    """The pre-sort-sweep O(n^2) definition, kept as the test oracle."""
+    return [
+        report
+        for report in batch
+        if not any(dominates(other, report) for other in batch)
+    ]
+
+
+@given(report_lists)
+@settings(max_examples=200)
+def test_sort_sweep_selects_exactly_the_all_pairs_front(batch):
+    fast = pareto_front(batch)
+    slow = all_pairs_front(batch)
+    # Same member objects (duplicates included), whatever the order.
+    assert {id(report) for report in fast} == {id(report) for report in slow}
+    assert len(fast) == len(slow)
+    # And the fast path's order is the canonical (area, power) sort.
+    assert [cost_pair(r) for r in fast] == sorted(cost_pair(r) for r in slow)
+
+
+def test_pareto_indices_empty_and_singleton():
+    assert pareto_indices([]) == []
+    assert pareto_indices([(3.0, 4.0)]) == [0]
+
+
+def test_pareto_indices_exact_duplicates_all_stay():
+    # Exact (x, y) duplicates dominate nothing and are dominated by
+    # nothing, so every copy survives — the all-pairs semantics.
+    assert pareto_indices([(1.0, 2.0), (1.0, 2.0), (2.0, 1.0)]) == [0, 1, 2]
+    # ... but an equal-power, worse-area point is dominated.
+    assert pareto_indices([(1.0, 2.0), (2.0, 2.0)]) == [0]
+
+
+# ----------------------------------------------------------------------
+# front_coverage
+# ----------------------------------------------------------------------
+@given(report_lists)
+def test_front_coverage_of_own_batch_is_total(batch):
+    front = pareto_front(batch)
+    assert front_coverage(front, batch) == 1.0
+
+
+@given(report_lists, report_lists)
+def test_front_coverage_bounded_and_monotone(batch, extra):
+    front = pareto_front(batch)
+    partial = front_coverage(front, extra)
+    assert 0.0 <= partial <= 1.0
+    # Adding candidates never loses coverage; adding the batch itself
+    # completes it.
+    assert front_coverage(front, list(extra) + list(batch)) == 1.0
+
+
+def test_front_coverage_empty_reference_is_trivially_total():
+    assert front_coverage([], []) == 1.0
 
 
 # ----------------------------------------------------------------------

@@ -149,6 +149,137 @@ def test_explicit_points_and_duplicates(server, client):
 
 
 # ----------------------------------------------------------------------
+# Strategy sweeps (the budgeted propose/observe driver over HTTP)
+# ----------------------------------------------------------------------
+def test_legacy_sweep_has_no_strategy_keys_or_progress(client):
+    # Byte-compatibility: clients that send no "strategy" field get
+    # exactly the protocol-1 stream — same summary keys, no progress.
+    events = list(client.sweep("cavity"))
+    assert {e["type"] for e in events} <= {"start", "record", "failure", "end"}
+    assert sorted(events[-1]["summary"].keys()) == [
+        "batches",
+        "cache",
+        "coalesced",
+        "failures",
+        "records",
+    ]
+
+
+def test_frontier_strategy_streams_progress_and_accounting(client):
+    events = list(
+        client.sweep(
+            "cavity", strategy="frontier", budget={"max_oracle_calls": 8}
+        )
+    )
+    assert events[0]["type"] == "start"
+    assert events[-1]["type"] == "end"
+    progress = [e["progress"] for e in events if e["type"] == "progress"]
+    assert progress
+    assert [p["round"] for p in progress] == list(range(1, len(progress) + 1))
+    assert all("front_size" in p and "total_oracle_calls" in p for p in progress)
+    summary = events[-1]["summary"]
+    assert summary["strategy"] == "frontier"
+    assert summary["rounds"] == len(progress)
+    assert summary["oracle_calls"] <= 8
+    assert summary["stopped"] in ("completed", "budget_exhausted")
+
+
+def test_strategy_budget_exhausted_ends_stream_cleanly(client):
+    # Budget exhaustion is an outcome, not an error: the stream ends
+    # with a well-formed end event (HTTP 200 was already committed).
+    events = list(
+        client.sweep("cavity", strategy="exhaustive", budget={"max_points": 3})
+    )
+    assert events[-1]["type"] == "end"
+    summary = events[-1]["summary"]
+    assert summary["stopped"] == "budget_exhausted"
+    assert summary["stop_reason"] == "max_points"
+    assert summary["records"] == 3
+
+
+def test_exhaustive_strategy_matches_legacy_sweep(server, client):
+    legacy = {
+        e["record"]["fingerprint"]
+        for e in client.sweep("cavity")
+        if e["type"] == "record"
+    }
+    via_strategy = {
+        e["record"]["fingerprint"]
+        for e in client.sweep("cavity", strategy="exhaustive")
+        if e["type"] == "record"
+    }
+    assert via_strategy == legacy
+
+
+def test_strategy_sweeps_share_the_service_cache(client):
+    first = list(client.sweep("cavity", strategy="exhaustive"))[-1]["summary"]
+    second = list(client.sweep("cavity", strategy="exhaustive"))[-1]["summary"]
+    assert first["stopped"] == second["stopped"] == "completed"
+    # The warm run does no new oracle work: the global miss counter is
+    # unchanged.  (Its charged calls are exactly the cached *failures*
+    # — they yield no record to prove the hit, so the driver's
+    # conservative rule still bills them.)
+    assert second["cache"]["misses"] == first["cache"]["misses"]
+    assert second["oracle_calls"] == CAVITY_FAILURES
+
+
+def test_strategy_with_restricted_axes(client):
+    events = list(
+        client.sweep(
+            "cavity",
+            strategy="exhaustive",
+            variants=["baseline"],
+            budget_fractions=[1.0, 0.9],
+            onchip_counts=[None, 2],
+        )
+    )
+    records = [e["record"] for e in events if e["type"] == "record"]
+    assert records
+    assert {r["point"]["variant"] for r in records} == {"baseline"}
+    assert events[-1]["summary"]["stopped"] == "completed"
+
+
+@pytest.mark.parametrize(
+    "payload, code",
+    [
+        ({"app": "cavity", "strategy": "simulated-annealing"}, "unknown_strategy"),
+        ({"app": "cavity", "strategy": 7}, "bad_request"),
+        (
+            {"app": "cavity", "strategy": "frontier", "budget": {"max_points": 0}},
+            "bad_budget",
+        ),
+        (
+            {"app": "cavity", "strategy": "frontier", "budget": {"bogus": 3}},
+            "bad_budget",
+        ),
+        (
+            {"app": "cavity", "strategy": "frontier", "budget": [3]},
+            "bad_budget",
+        ),
+        ({"app": "cavity", "budget": {"max_points": 3}}, "bad_request"),
+        (
+            {
+                "app": "cavity",
+                "strategy": "frontier",
+                "points": [{"variant": "baseline"}],
+            },
+            "bad_request",
+        ),
+        (
+            {"app": "cavity", "strategy": "frontier", "variants": ["nope"]},
+            "unknown_axis",
+        ),
+    ],
+)
+def test_malformed_strategy_requests_are_400s(client, payload, code):
+    with pytest.raises(ServiceError) as excinfo:
+        response = client._request("POST", "/v1/sweep", payload)
+        response.read()
+    assert excinfo.value.status == 400
+    assert excinfo.value.code == code
+
+
+# ----------------------------------------------------------------------
 # Single-flight coalescing
 # ----------------------------------------------------------------------
 def _concurrent_sweeps(server, n_clients, **sweep_kwargs):
